@@ -1,0 +1,45 @@
+"""Ablation: group size N sweep.
+
+Section 3 caps N by device memory; within that cap, larger groups
+amortize frontier-queue generation and adjacency loads over more
+instances, but laptop-scale graphs saturate the benefit early.  This
+sweep records where the knee falls.
+"""
+
+from repro import IBFS, IBFSConfig
+
+from harness import emit, format_table, load_graph, pick_sources, run_once
+
+GROUP_SIZES = (1, 4, 16, 32, 64, 128)
+GRAPHS = ("FB", "KG0", "RD")
+
+
+def test_ablation_group_size(benchmark):
+    def experiment():
+        rows = []
+        for name in GRAPHS:
+            graph = load_graph(name)
+            sources = pick_sources(graph)
+            times = {}
+            for n in GROUP_SIZES:
+                engine = IBFS(graph, IBFSConfig(group_size=n, groupby=False))
+                times[n] = engine.run(sources, store_depths=False).seconds
+            rows.append((name, *(times[n] * 1e3 for n in GROUP_SIZES)))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = format_table(
+        "Ablation: group size sweep (ms, bitwise engine, random groups)",
+        ["graph", *(f"N={n}" for n in GROUP_SIZES)],
+        rows,
+    )
+    emit("ablation_group_size", table)
+
+    # Grouping must help: running instances in groups of >= 16 beats
+    # one-instance "groups" (which degenerate to sequential execution).
+    for row in rows:
+        name = row[0]
+        times = dict(zip(GROUP_SIZES, row[1:]))
+        assert times[16] < times[1], name
+        assert times[64] < times[4], name
+    benchmark.extra_info["group_sizes"] = list(GROUP_SIZES)

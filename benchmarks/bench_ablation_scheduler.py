@@ -1,0 +1,56 @@
+"""Ablation: cluster scheduling policy — LPT vs round-robin.
+
+Figure 17's scaling is bounded by workload imbalance.  This ablation
+compares the cost-aware LPT assignment with the static round-robin an
+MPI rank split gives, over the real per-group times of a GroupBy run.
+"""
+
+from repro import IBFS, IBFSConfig, KEPLER_K20, Cluster, Device
+from repro.gpusim.cluster import schedule_lpt, schedule_round_robin
+
+from harness import emit, format_table, load_graph, pick_sources, run_once
+
+DEVICE_COUNTS = (8, 32, 112)
+GRAPHS = ("FB", "TW")
+
+
+def test_ablation_scheduler(benchmark):
+    def experiment():
+        rows = []
+        for name in GRAPHS:
+            graph = load_graph(name)
+            sources = pick_sources(graph, 672, seed=17)
+            engine = IBFS(
+                graph,
+                IBFSConfig(group_size=4, groupby=True),
+                device=Device(KEPLER_K20),
+            )
+            durations = engine.run(sources, store_depths=False).group_times()
+            for count in DEVICE_COUNTS:
+                lpt = Cluster(count, KEPLER_K20, schedule_lpt).run(durations)
+                rr = Cluster(count, KEPLER_K20, schedule_round_robin).run(
+                    durations
+                )
+                rows.append(
+                    (
+                        name,
+                        count,
+                        lpt.makespan * 1e6,
+                        rr.makespan * 1e6,
+                        round(rr.makespan / lpt.makespan, 3),
+                    )
+                )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = format_table(
+        "Ablation: cluster scheduler (makespan in us)",
+        ["graph", "gpus", "LPT", "round-robin", "rr/LPT"],
+        rows,
+    )
+    emit("ablation_scheduler", table)
+
+    # LPT never loses to round-robin.
+    for name, count, lpt_t, rr_t, _ in rows:
+        assert lpt_t <= rr_t * 1.001, (name, count)
+    benchmark.extra_info["device_counts"] = list(DEVICE_COUNTS)

@@ -1,0 +1,74 @@
+"""Extension: closeness-centrality construction time across engines.
+
+Section 1 lists closeness centrality among the algorithms iBFS
+accelerates; like the reachability index (Table 1), it is a bulk
+concurrent-BFS workload, so the engine ladder should carry over to
+application-level build times.
+"""
+
+from repro import IBFS, IBFSConfig, SequentialConcurrentBFS
+from repro.baselines import MSBFS
+from repro.apps.closeness import closeness_centrality
+
+from harness import emit, format_table, load_graph, pick_sources, run_once
+
+GRAPHS = ("FB", "OR")
+GROUP_SIZE = 32
+
+
+def test_app_closeness_build_time(benchmark):
+    def experiment():
+        rows = []
+        for name in GRAPHS:
+            graph = load_graph(name)
+            sample = pick_sources(graph)
+            engines = {
+                "sequential": SequentialConcurrentBFS(graph),
+                "ms-bfs": MSBFS(graph, group_size=GROUP_SIZE),
+                "gpu-ibfs": IBFS(graph, IBFSConfig(group_size=GROUP_SIZE)),
+            }
+            scores = {}
+            times = {}
+            for label, engine in engines.items():
+                result = engine.run(sample, store_depths=True)
+                times[label] = result.seconds
+                scores[label] = closeness_centrality(
+                    graph, _Precomputed(result)
+                )
+            # All engines must agree on every score.
+            for label in ("ms-bfs", "gpu-ibfs"):
+                for v, s in scores["sequential"].items():
+                    assert abs(scores[label][v] - s) < 1e-12, (name, label, v)
+            rows.append(
+                (
+                    name,
+                    times["sequential"] * 1e3,
+                    times["ms-bfs"] * 1e3,
+                    times["gpu-ibfs"] * 1e3,
+                    round(times["sequential"] / times["gpu-ibfs"], 2),
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = format_table(
+        "Application: closeness centrality over 128 sampled vertices (ms)",
+        ["graph", "sequential", "ms-bfs", "gpu-ibfs", "ibfs speedup"],
+        rows,
+    )
+    emit("app_closeness", table)
+
+    for name, seq_ms, ms_ms, ibfs_ms, _ in rows:
+        assert ibfs_ms < seq_ms, name
+        assert ibfs_ms < ms_ms, name
+    benchmark.extra_info["graphs"] = list(GRAPHS)
+
+
+class _Precomputed:
+    """Adapter: serve an already-computed ConcurrentResult to apps."""
+
+    def __init__(self, result):
+        self._result = result
+
+    def run(self, sources, max_depth=None, store_depths=True):
+        return self._result

@@ -1,0 +1,61 @@
+"""Figure 8: GroupBy performance as the hub threshold q varies.
+
+Paper shape: performance rises with q, peaks in a middle band (the
+paper reports 128-1024 at its graph sizes), and falls for very large q
+because too few sources satisfy Rule 2.  At laptop scale the peak band
+shifts left with the hub degrees, but the rise-peak-fall shape and the
+poor extremes must hold.
+"""
+
+import pytest
+
+from repro import IBFS, IBFSConfig
+from repro.core.groupby import GroupByConfig
+
+from harness import emit, format_table, load_graph, pick_sources, run_once
+
+# The largest value exceeds every vertex degree at laptop scale, so the
+# "no source satisfies Rule 2" regime the paper observes at q=4096
+# genuinely occurs.
+Q_VALUES = (1, 4, 16, 64, 128, 256, 1024, 1_000_000)
+GRAPHS = ("HW", "KG0", "LJ", "OR")
+
+
+@pytest.mark.parametrize("graph_name", GRAPHS)
+def test_fig08_q_sweep(benchmark, graph_name):
+    graph = load_graph(graph_name)
+    sources = pick_sources(graph)
+
+    def experiment():
+        times = {}
+        for q in Q_VALUES:
+            engine = IBFS(
+                graph,
+                IBFSConfig(
+                    group_size=32,
+                    groupby=True,
+                    groupby_config=GroupByConfig(q=q),
+                ),
+            )
+            times[q] = engine.run(sources, store_depths=False).seconds
+        return times
+
+    times = run_once(benchmark, experiment)
+    best = min(times.values())
+    rows = [
+        (q, times[q] * 1e3, round(100 * best / times[q], 1)) for q in Q_VALUES
+    ]
+    table = format_table(
+        f"Figure 8 [{graph_name}]: GroupBy performance vs q "
+        "(relative % of best)",
+        ["q", "ms", "relative %"],
+        rows,
+    )
+    emit(f"fig08_q_sweep_{graph_name}", table)
+
+    # Shape: the best q sits strictly inside the sweep, or at least the
+    # extremes are not better than the interior band.
+    interior_best = min(times[q] for q in Q_VALUES[1:-1])
+    assert interior_best <= times[Q_VALUES[0]] * 1.02
+    assert interior_best <= times[Q_VALUES[-1]] * 1.02
+    benchmark.extra_info["best_q"] = min(times, key=times.get)

@@ -1,0 +1,41 @@
+"""Figure 14: the benchmark graphs (vertex and edge counts).
+
+The paper plots the 13 graphs by vertex count (up to ~17 M) and edge
+count (up to ~1 B); our laptop-scale stand-ins preserve the relative
+ordering (KG2 largest, KG0 densest, PK smallest) at 2^10..2^13 vertices.
+"""
+
+from repro.graph.properties import degree_stats, gini_coefficient
+
+from harness import ALL_GRAPHS, emit, format_table, load_graph, run_once
+
+
+def test_fig14_graph_inventory(benchmark):
+    def experiment():
+        rows = []
+        for name in ALL_GRAPHS:
+            graph = load_graph(name)
+            stats = degree_stats(graph)
+            rows.append(
+                (
+                    name,
+                    graph.num_vertices,
+                    graph.num_edges,
+                    round(graph.average_degree, 1),
+                    int(stats["max"]),
+                    round(gini_coefficient(graph), 3),
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = format_table(
+        "Figure 14: graph benchmarks (laptop-scale stand-ins)",
+        ["graph", "vertices", "edges", "avg_deg", "max_deg", "gini"],
+        rows,
+    )
+    emit("fig14_graphs", table)
+    # KG2 must be the largest graph, mirroring the paper's suite.
+    edges = {row[0]: row[2] for row in rows}
+    assert max(edges, key=edges.get) == "KG2"
+    benchmark.extra_info["graphs"] = len(rows)

@@ -1,0 +1,64 @@
+"""Figure 15: traversal rate of Sequential / Naive / Joint / Bitwise /
+GroupBy across all 13 graphs.
+
+Paper shape: Naive ~= Sequential (avg 1.05x); joint traversal ~1.4x
+over sequential; the bitwise status array a further large factor; and
+GroupBy up to ~2x more, for a combined speedup of up to 30x.  We assert
+the ordering (the who-wins structure) and record the factors.
+"""
+
+import pytest
+
+from harness import (
+    ALL_GRAPHS,
+    emit,
+    fig15_engines,
+    format_table,
+    load_graph,
+    pick_sources,
+    run_once,
+)
+
+ENGINE_ORDER = ("sequential", "naive", "joint", "bitwise", "groupby")
+
+
+@pytest.mark.parametrize("graph_name", ALL_GRAPHS)
+def test_fig15_engine_comparison(benchmark, graph_name):
+    graph = load_graph(graph_name)
+    sources = pick_sources(graph)
+
+    def experiment():
+        results = {}
+        for label, engine in fig15_engines(graph).items():
+            results[label] = engine.run(sources, store_depths=False)
+        return results
+
+    results = run_once(benchmark, experiment)
+    seq_seconds = results["sequential"].seconds
+    rows = [
+        (
+            label,
+            results[label].teps / 1e9,
+            results[label].seconds * 1e3,
+            seq_seconds / results[label].seconds,
+            round(results[label].sharing_degree, 2),
+        )
+        for label in ENGINE_ORDER
+    ]
+    table = format_table(
+        f"Figure 15 [{graph_name}]: engine comparison "
+        f"({len(sources)} instances)",
+        ["engine", "GTEPS", "ms", "speedup_vs_seq", "SD"],
+        rows,
+    )
+    emit(f"fig15_teps_{graph_name}", table)
+
+    # Shape assertions: the paper's ordering must hold.
+    assert 0.7 < seq_seconds / results["naive"].seconds < 1.7
+    assert results["joint"].seconds < seq_seconds
+    assert results["bitwise"].seconds < results["joint"].seconds
+    assert results["groupby"].seconds <= results["bitwise"].seconds * 1.10
+    for label in ENGINE_ORDER:
+        benchmark.extra_info[f"{label}_gteps"] = round(
+            results[label].teps / 1e9, 3
+        )

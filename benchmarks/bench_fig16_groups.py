@@ -1,0 +1,56 @@
+"""Figure 16: traversal rate vs number of BFS groups on HW.
+
+Paper shape: as more groups run (total instances = groups x group
+size), GroupBy's advantage over random grouping *grows*, "because
+better groups can be formed" from the larger source pool; random
+grouping's rate stays roughly flat.
+"""
+
+import numpy as np
+
+from repro import IBFS, IBFSConfig
+
+from harness import emit, format_table, load_graph, pick_sources, run_once
+
+GROUP_SIZE = 16
+GROUP_COUNTS = (1, 2, 4, 8, 16)
+
+
+def test_fig16_group_count_sweep(benchmark):
+    graph = load_graph("HW")
+
+    def experiment():
+        rows = []
+        for num_groups in GROUP_COUNTS:
+            sources = pick_sources(graph, num_groups * GROUP_SIZE, seed=16)
+            grouped = IBFS(
+                graph, IBFSConfig(group_size=GROUP_SIZE, groupby=True)
+            ).run(sources, store_depths=False)
+            random = IBFS(
+                graph, IBFSConfig(group_size=GROUP_SIZE, groupby=False, seed=5)
+            ).run(sources, store_depths=False)
+            rows.append(
+                (
+                    num_groups,
+                    len(sources),
+                    random.teps / 1e9,
+                    grouped.teps / 1e9,
+                    grouped.teps / random.teps,
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = format_table(
+        "Figure 16 [HW]: TEPS vs number of groups (group size 16)",
+        ["groups", "instances", "random GTEPS", "GroupBy GTEPS", "gain"],
+        rows,
+    )
+    emit("fig16_groups", table)
+
+    # Shape: GroupBy never loses, and its average gain with many groups
+    # exceeds its gain with a single group (more material to choose from).
+    gains = [r[4] for r in rows]
+    assert min(gains) > 0.9
+    assert np.mean(gains[2:]) >= gains[0] * 0.95
+    benchmark.extra_info["gain_at_max_groups"] = round(gains[-1], 3)

@@ -1,0 +1,68 @@
+"""Figure 17: iBFS scalability from 1 to 112 GPUs (K20 cluster).
+
+Each GPU runs independent groups; no inter-GPU communication is needed,
+so scaling is limited only by workload imbalance across devices.  Paper
+shape: near-linear at small counts (1.9-1.97x on 2 GPUs, ~3.8x on 4),
+an average of ~85x on 112 GPUs, with the uniform RD graph scaling best.
+"""
+
+import numpy as np
+import pytest
+
+from repro import IBFS, IBFSConfig, KEPLER_K20, Cluster, Device
+
+from harness import emit, format_table, load_graph, pick_sources, run_once
+
+GRAPHS = ("RD", "FB", "OR", "TW", "RM")
+DEVICE_COUNTS = (1, 2, 4, 8, 16, 32, 64, 112)
+#: Small groups so the source pool yields well over 112 work units —
+#: the paper's APSP runs have millions of groups to balance.
+GROUP_SIZE = 4
+NUM_SOURCES = 672
+
+
+def test_fig17_multi_gpu_scaling(benchmark):
+    def experiment():
+        curves = {}
+        for name in GRAPHS:
+            graph = load_graph(name)
+            sources = pick_sources(graph, NUM_SOURCES, seed=17)
+            engine = IBFS(
+                graph,
+                IBFSConfig(group_size=GROUP_SIZE, groupby=True),
+                device=Device(KEPLER_K20),
+            )
+            result = engine.run(sources, store_depths=False)
+            durations = result.group_times()
+            curves[name] = Cluster(1, KEPLER_K20).speedup_curve(
+                durations, DEVICE_COUNTS
+            )
+        return curves
+
+    curves = run_once(benchmark, experiment)
+    rows = []
+    for i, count in enumerate(DEVICE_COUNTS):
+        row = [count] + [round(curves[name][i], 1) for name in GRAPHS]
+        row.append(round(float(np.mean([curves[n][i] for n in GRAPHS])), 1))
+        rows.append(tuple(row))
+    table = format_table(
+        f"Figure 17: speedup vs GPU count (groups of {GROUP_SIZE}, "
+        "LPT scheduling)",
+        ["gpus", *GRAPHS, "average"],
+        rows,
+    )
+    emit("fig17_scaling", table)
+
+    for name in GRAPHS:
+        assert curves[name][0] == pytest.approx(1.0)
+        # Near-linear at 2 and 4 GPUs.
+        assert curves[name][1] > 1.7
+        assert curves[name][2] > 3.2
+        # Monotone non-decreasing speedups.
+        assert all(b >= a * 0.99 for a, b in zip(curves[name], curves[name][1:]))
+    # RD (uniform workload) scales best at the top end, as in the paper.
+    top = {name: curves[name][-1] for name in GRAPHS}
+    assert top["RD"] == max(top.values())
+    benchmark.extra_info["avg_speedup_112"] = round(
+        float(np.mean([curves[n][-1] for n in GRAPHS])), 1
+    )

@@ -1,0 +1,58 @@
+"""Figure 18: global store transactions during frontier-queue generation
+— private per-instance queues vs random JFQ vs GroupBy JFQ.
+
+Paper shape: the joint frontier queue needs ~4x fewer stores than
+private queues on average (each shared frontier is enqueued once), and
+GroupBy saves a further ~2.6x by raising the sharing ratio.
+"""
+
+from repro import IBFS, IBFSConfig, SequentialConcurrentBFS
+
+from harness import ALL_GRAPHS, emit, format_table, load_graph, pick_sources, run_once
+
+GROUP_SIZE = 32
+
+
+def test_fig18_frontier_queue_stores(benchmark):
+    def experiment():
+        rows = []
+        for name in ALL_GRAPHS:
+            graph = load_graph(name)
+            sources = pick_sources(graph)
+            # Private queues: every instance enqueues its own frontiers.
+            private = SequentialConcurrentBFS(graph).run(
+                sources, store_depths=False
+            )
+            random_jfq = IBFS(
+                graph,
+                IBFSConfig(group_size=GROUP_SIZE, mode="joint", groupby=False),
+            ).run(sources, store_depths=False)
+            groupby_jfq = IBFS(
+                graph,
+                IBFSConfig(group_size=GROUP_SIZE, mode="joint", groupby=True),
+            ).run(sources, store_depths=False)
+            rows.append(
+                (
+                    name,
+                    private.counters.frontier_enqueues,
+                    random_jfq.counters.frontier_enqueues,
+                    groupby_jfq.counters.frontier_enqueues,
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = format_table(
+        "Figure 18: frontier-queue store operations "
+        "(private FQ vs random JFQ vs GroupBy JFQ)",
+        ["graph", "private FQ", "random JFQ", "GroupBy JFQ"],
+        rows,
+    )
+    emit("fig18_stores", table)
+
+    for name, private, random_jfq, groupby_jfq in rows:
+        assert random_jfq < private, name
+        assert groupby_jfq <= random_jfq * 1.05, name
+    total_private = sum(r[1] for r in rows)
+    total_random = sum(r[2] for r in rows)
+    benchmark.extra_info["jfq_reduction"] = round(total_private / total_random, 2)

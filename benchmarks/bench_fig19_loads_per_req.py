@@ -1,0 +1,52 @@
+"""Figure 19: global load transactions per request, naive vs joint.
+
+Paper shape: the joint status array coalesces the inspections of
+contiguous threads into single transactions, reducing ~4 loads per
+request to ~1; the naive private-array layout cannot coalesce across
+instances.
+"""
+
+from repro import IBFS, IBFSConfig, NaiveConcurrentBFS
+
+from harness import ALL_GRAPHS, emit, format_table, load_graph, pick_sources, run_once
+
+GROUP_SIZE = 32
+
+
+def test_fig19_loads_per_request(benchmark):
+    def experiment():
+        rows = []
+        for name in ALL_GRAPHS:
+            graph = load_graph(name)
+            sources = pick_sources(graph)
+            naive = NaiveConcurrentBFS(graph).run(sources, store_depths=False)
+            joint = IBFS(
+                graph,
+                IBFSConfig(group_size=GROUP_SIZE, mode="joint", groupby=False),
+            ).run(sources, store_depths=False)
+            rows.append(
+                (
+                    name,
+                    naive.counters.loads_per_request,
+                    joint.counters.loads_per_request,
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = format_table(
+        "Figure 19: global load transactions per request (naive vs joint)",
+        ["graph", "naive", "joint"],
+        rows,
+    )
+    emit("fig19_loads_per_request", table)
+
+    for name, naive_lpr, joint_lpr in rows:
+        assert joint_lpr < naive_lpr, name
+    # Joint traversal approaches perfect coalescing (~1 per request).
+    avg_joint = sum(r[2] for r in rows) / len(rows)
+    assert avg_joint < 2.5
+    benchmark.extra_info["avg_joint_lpr"] = round(avg_joint, 2)
+    benchmark.extra_info["avg_naive_lpr"] = round(
+        sum(r[1] for r in rows) / len(rows), 2
+    )

@@ -1,0 +1,61 @@
+"""Figure 22: comparison with the state of the art — MS-BFS, CPU-iBFS,
+B40C, SpMM-BC, and GPU-iBFS on six graphs.
+
+Paper shape: GPU-iBFS wins everywhere; CPU-iBFS beats MS-BFS (45%+ on
+average); SpMM-BC sits between B40C and GPU-iBFS; GPU-iBFS ~2x over
+CPU-iBFS and ~2x over SpMM-BC, ~19x over B40C.
+"""
+
+import pytest
+
+from repro import B40C, CPUiBFS, IBFS, IBFSConfig, MSBFS, SpMMBC
+
+from harness import emit, format_table, load_graph, pick_sources, run_once
+
+GRAPHS = ("FB", "HW", "KG0", "LJ", "OR", "TW")
+GROUP_SIZE = 32
+
+
+@pytest.mark.parametrize("graph_name", GRAPHS)
+def test_fig22_state_of_the_art(benchmark, graph_name):
+    graph = load_graph(graph_name)
+    sources = pick_sources(graph)
+
+    def experiment():
+        engines = {
+            "ms-bfs": MSBFS(graph, group_size=GROUP_SIZE),
+            "cpu-ibfs": CPUiBFS(graph, IBFSConfig(group_size=GROUP_SIZE)),
+            "b40c": B40C(graph),
+            "spmm-bc": SpMMBC(graph, group_size=GROUP_SIZE),
+            "gpu-ibfs": IBFS(graph, IBFSConfig(group_size=GROUP_SIZE)),
+        }
+        return {
+            label: engine.run(sources, store_depths=False)
+            for label, engine in engines.items()
+        }
+
+    results = run_once(benchmark, experiment)
+    order = ("ms-bfs", "cpu-ibfs", "b40c", "spmm-bc", "gpu-ibfs")
+    rows = [
+        (label, results[label].teps / 1e9, results[label].seconds * 1e3)
+        for label in order
+    ]
+    table = format_table(
+        f"Figure 22 [{graph_name}]: CPU and GPU implementations",
+        ["system", "GTEPS", "ms"],
+        rows,
+    )
+    emit(f"fig22_stateofart_{graph_name}", table)
+
+    seconds = {label: results[label].seconds for label in order}
+    # Shape assertions straight from the paper's narrative.
+    assert seconds["gpu-ibfs"] == min(seconds.values())
+    assert seconds["cpu-ibfs"] < seconds["ms-bfs"]
+    assert seconds["spmm-bc"] < seconds["b40c"]
+    assert seconds["gpu-ibfs"] < seconds["spmm-bc"]
+    benchmark.extra_info["gpu_over_cpu"] = round(
+        seconds["cpu-ibfs"] / seconds["gpu-ibfs"], 2
+    )
+    benchmark.extra_info["gpu_over_b40c"] = round(
+        seconds["b40c"] / seconds["gpu-ibfs"], 2
+    )

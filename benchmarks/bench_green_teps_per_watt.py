@@ -1,0 +1,54 @@
+"""Extension: Green Graph500-style energy efficiency (TEPS/W).
+
+The paper's generator suite comes from Graph500, whose Green list ranks
+systems by traversed edges per second per watt.  iBFS's transaction
+savings translate directly into energy savings, so the engine ladder of
+figure 15 should reproduce in efficiency as well as speed.
+"""
+
+from repro.gpusim.config import KEPLER_K40
+from repro.gpusim.energy import energy_report
+
+from harness import emit, fig15_engines, format_table, load_graph, pick_sources, run_once
+
+GRAPHS = ("FB", "KG0", "RD")
+ENGINE_ORDER = ("sequential", "naive", "joint", "bitwise", "groupby")
+
+
+def test_green_teps_per_watt(benchmark):
+    def experiment():
+        rows = []
+        for name in GRAPHS:
+            graph = load_graph(name)
+            sources = pick_sources(graph)
+            for label, engine in fig15_engines(graph).items():
+                result = engine.run(sources, store_depths=False)
+                report = energy_report(result, KEPLER_K40)
+                rows.append(
+                    (
+                        name,
+                        label,
+                        report["total_joules"] * 1e3,
+                        report["average_watts"],
+                        report["teps_per_watt"] / 1e6,
+                    )
+                )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = format_table(
+        "Green Graph500 extension: energy efficiency per engine",
+        ["graph", "engine", "mJ", "avg W", "MTEPS/W"],
+        rows,
+    )
+    emit("green_teps_per_watt", table)
+
+    # Efficiency ladder: the full iBFS pipeline beats sequential
+    # execution on every graph.
+    by_graph = {}
+    for name, label, _, _, eff in rows:
+        by_graph.setdefault(name, {})[label] = eff
+    for name, engines in by_graph.items():
+        assert engines["groupby"] > engines["sequential"], name
+        assert engines["bitwise"] > engines["joint"], name
+    benchmark.extra_info["graphs"] = list(GRAPHS)

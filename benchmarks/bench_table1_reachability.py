@@ -1,0 +1,63 @@
+"""Table 1: runtime of 3-hop reachability index construction.
+
+The index computes the first k=3 BFS levels from a set of selected
+vertices.  Paper shape: GPU-iBFS is fastest everywhere — 21x over B40C,
+3.3x over MS-BFS, 2.2x over CPU-iBFS.
+"""
+
+import pytest
+
+from repro import B40C, CPUiBFS, IBFS, IBFSConfig, MSBFS
+from repro.apps.reachability import build_reachability_index
+
+from harness import emit, format_table, load_graph, pick_sources, run_once
+
+GRAPHS = ("FB", "KG0", "OR", "TW")
+GROUP_SIZE = 32
+K = 3
+
+
+@pytest.mark.parametrize("graph_name", GRAPHS)
+def test_table1_reachability_index(benchmark, graph_name):
+    graph = load_graph(graph_name)
+    sources = pick_sources(graph)
+
+    def experiment():
+        engines = {
+            "ms-bfs": MSBFS(graph, group_size=GROUP_SIZE),
+            "cpu-ibfs": CPUiBFS(graph, IBFSConfig(group_size=GROUP_SIZE)),
+            "b40c": B40C(graph),
+            "gpu-ibfs": IBFS(graph, IBFSConfig(group_size=GROUP_SIZE)),
+        }
+        times = {}
+        reference_index = None
+        for label, engine in engines.items():
+            index = build_reachability_index(graph, engine, sources, k=K)
+            times[label] = index.build_seconds
+            # All systems must build the same index.
+            if reference_index is None:
+                reference_index = index
+            else:
+                for s in sources[:8]:
+                    assert index.reachable_count(s) == (
+                        reference_index.reachable_count(s)
+                    )
+        return times
+
+    times = run_once(benchmark, experiment)
+    order = ("ms-bfs", "cpu-ibfs", "b40c", "gpu-ibfs")
+    rows = [(label, times[label] * 1e3) for label in order]
+    table = format_table(
+        f"Table 1 [{graph_name}]: 3-hop reachability index build time (ms)",
+        ["system", "ms"],
+        rows,
+    )
+    emit(f"table1_reachability_{graph_name}", table)
+
+    assert times["gpu-ibfs"] == min(times.values())
+    assert times["gpu-ibfs"] < times["b40c"]
+    assert times["gpu-ibfs"] < times["ms-bfs"]
+    assert times["gpu-ibfs"] < times["cpu-ibfs"]
+    benchmark.extra_info["speedup_over_b40c"] = round(
+        times["b40c"] / times["gpu-ibfs"], 2
+    )

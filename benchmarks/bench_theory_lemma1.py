@@ -1,0 +1,54 @@
+"""Theory check: Lemma 1 (SD == expected joint-over-sequential speedup).
+
+Section 5.1 proves that a group's sharing degree equals the expected
+speedup of its joint execution, counting time in inspections.  This
+benchmark measures both sides on GroupBy-formed and random groups of
+every benchmark graph and reports the relative gap.
+"""
+
+import numpy as np
+
+from repro.core.groupby import GroupByConfig, group_sources, random_groups
+from repro.core.theory import verify_lemma1
+
+from harness import ALL_GRAPHS, emit, format_table, load_graph, pick_sources, run_once
+
+GROUP_SIZE = 16
+
+
+def test_theory_lemma1(benchmark):
+    def experiment():
+        rows = []
+        for name in ALL_GRAPHS:
+            graph = load_graph(name)
+            sources = pick_sources(graph, 64, seed=13)
+            grouped = group_sources(graph, sources, GROUP_SIZE, GroupByConfig())
+            random = random_groups(sources, GROUP_SIZE, seed=14)
+            for kind, groups in (("groupby", grouped), ("random", random)):
+                report = verify_lemma1(graph, groups[0])
+                rows.append(
+                    (
+                        name,
+                        kind,
+                        round(report.sharing_degree, 2),
+                        round(report.inspection_speedup, 2),
+                        round(report.relative_gap, 3),
+                    )
+                )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = format_table(
+        "Lemma 1: sharing degree vs inspection-counted speedup "
+        f"(first group of {GROUP_SIZE})",
+        ["graph", "grouping", "SD", "speedup", "relative gap"],
+        rows,
+    )
+    emit("theory_lemma1", table)
+
+    gaps = [r[4] for r in rows]
+    # The lemma holds in expectation; the measured gap must stay small
+    # on average and bounded everywhere.
+    assert float(np.mean(gaps)) < 0.25
+    assert max(gaps) < 0.6
+    benchmark.extra_info["mean_gap"] = round(float(np.mean(gaps)), 3)

@@ -1,0 +1,128 @@
+"""Shared infrastructure for the per-figure benchmark harness.
+
+Every ``bench_*.py`` file regenerates one table or figure from the
+paper's evaluation (section 8).  Conventions:
+
+* graphs come from :func:`repro.graph.benchmarks.benchmark_graph` at a
+  scale controlled by the ``REPRO_BENCH_SCALE`` environment variable
+  (``scale_delta``, default 0 — the suite's native laptop scale);
+* the number of BFS instances per experiment is controlled by
+  ``REPRO_BENCH_SOURCES`` (default 128, the paper's APSP scaled down —
+  several groups of 32, so GroupBy has real choices to make);
+* each benchmark prints a plain-text reproduction of the figure's rows
+  and writes the same table under ``benchmarks/results/`` so
+  EXPERIMENTS.md can reference stable artifacts;
+* pytest-benchmark measures harness wall time; the *simulated* metrics
+  (TEPS, transactions) are attached as ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import (
+    IBFS,
+    IBFSConfig,
+    NaiveConcurrentBFS,
+    SequentialConcurrentBFS,
+    benchmark_graph,
+)
+from repro.graph.csr import CSRGraph
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Graphs listed in the order the paper's figures use.
+ALL_GRAPHS = (
+    "FB", "FR", "HW", "KG0", "KG1", "KG2", "LJ", "OR", "PK", "RD", "RM",
+    "TW", "WK",
+)
+
+
+def scale_delta() -> int:
+    """Benchmark graph scale offset (env ``REPRO_BENCH_SCALE``)."""
+    return int(os.environ.get("REPRO_BENCH_SCALE", "0"))
+
+
+def source_count() -> int:
+    """Concurrent instances per experiment (env ``REPRO_BENCH_SOURCES``)."""
+    return int(os.environ.get("REPRO_BENCH_SOURCES", "128"))
+
+
+def load_graph(name: str) -> CSRGraph:
+    """The named benchmark graph at the configured scale."""
+    return benchmark_graph(name, scale_delta=scale_delta())
+
+
+def pick_sources(graph: CSRGraph, count: Optional[int] = None, seed: int = 42):
+    """Deterministic distinct sources for an experiment."""
+    if count is None:
+        count = source_count()
+    count = min(count, graph.num_vertices)
+    rng = np.random.default_rng(seed)
+    return sorted(
+        rng.choice(graph.num_vertices, size=count, replace=False).tolist()
+    )
+
+
+def fig15_engines(graph: CSRGraph, group_size: int = 32) -> Dict[str, object]:
+    """The five engine configurations of figure 15, in bar order."""
+    return {
+        "sequential": SequentialConcurrentBFS(graph),
+        "naive": NaiveConcurrentBFS(graph),
+        "joint": IBFS(
+            graph, IBFSConfig(group_size=group_size, mode="joint", groupby=False)
+        ),
+        "bitwise": IBFS(
+            graph, IBFSConfig(group_size=group_size, mode="bitwise", groupby=False)
+        ),
+        "groupby": IBFS(
+            graph, IBFSConfig(group_size=group_size, mode="bitwise", groupby=True)
+        ),
+    }
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width text table mirroring the paper's figure data."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in str_rows)) if str_rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def emit(name: str, table: str) -> None:
+    """Print the reproduction table and persist it under results/."""
+    print("\n" + table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table)
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark and return its value.
+
+    The interesting measurements are simulated (deterministic), so
+    repeated timing rounds would only re-measure the harness itself.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

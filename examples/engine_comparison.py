@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Figure-15 style engine comparison on one benchmark graph.
+
+Runs the paper's five configurations — sequential, naive concurrent,
+joint traversal, bitwise, and bitwise+GroupBy — on the FB benchmark
+stand-in and prints the traversal-rate ladder.
+
+Run:  python examples/engine_comparison.py [GRAPH]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (
+    IBFS,
+    IBFSConfig,
+    NaiveConcurrentBFS,
+    SequentialConcurrentBFS,
+    benchmark_graph,
+)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "FB"
+    graph = benchmark_graph(name)
+    print(f"{name}: {graph.num_vertices} vertices, {graph.num_edges} edges")
+
+    rng = np.random.default_rng(42)
+    sources = sorted(
+        rng.choice(graph.num_vertices, 128, replace=False).tolist()
+    )
+
+    engines = {
+        "sequential": SequentialConcurrentBFS(graph),
+        "naive": NaiveConcurrentBFS(graph),
+        "joint": IBFS(graph, IBFSConfig(group_size=32, mode="joint",
+                                        groupby=False)),
+        "bitwise": IBFS(graph, IBFSConfig(group_size=32, mode="bitwise",
+                                          groupby=False)),
+        "groupby": IBFS(graph, IBFSConfig(group_size=32, mode="bitwise",
+                                          groupby=True)),
+    }
+
+    baseline = None
+    print(f"\n{'engine':<12}{'GTEPS':>8}{'ms':>9}{'speedup':>9}")
+    for label, engine in engines.items():
+        result = engine.run(sources, store_depths=False)
+        if baseline is None:
+            baseline = result.seconds
+        print(
+            f"{label:<12}{result.teps / 1e9:>8.2f}"
+            f"{result.seconds * 1e3:>9.3f}"
+            f"{baseline / result.seconds:>8.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

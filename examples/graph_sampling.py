@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Traversal-based graph sampling (the paper's web-crawling motivation).
+
+Compares three samplers — a breadth-first crawl (snowball), forest-fire
+burning, and a random walk — on a scale-free network, and checks how
+well each preserves the degree skew of the original.
+
+Run:  python examples/graph_sampling.py
+"""
+
+import numpy as np
+
+from repro.graph.generators import scale_free
+from repro.graph.properties import degree_stats, gini_coefficient
+from repro.graph.samplers import (
+    forest_fire_sample,
+    random_walk_sample,
+    snowball_sample,
+)
+
+
+def main() -> None:
+    graph = scale_free(4000, attach=4, seed=9)
+    budget = 500
+    print(
+        f"original: {graph.num_vertices} vertices, {graph.num_edges} edges, "
+        f"gini={gini_coefficient(graph):.3f}, "
+        f"max degree={int(degree_stats(graph)['max'])}"
+    )
+
+    samplers = {
+        "snowball (BFS crawl)": snowball_sample,
+        "forest fire": forest_fire_sample,
+        "random walk": random_walk_sample,
+    }
+    print(f"\nsamples of {budget} vertices:")
+    print(f"{'sampler':<22}{'edges':>8}{'gini':>8}{'max deg':>9}")
+    for name, sampler in samplers.items():
+        sample = sampler(graph, budget=budget, rng_seed=11)
+        stats = degree_stats(sample)
+        print(
+            f"{name:<22}{sample.num_edges:>8}"
+            f"{gini_coefficient(sample):>8.3f}{int(stats['max']):>9}"
+        )
+
+    # The BFS crawl grabs whole neighborhoods, so it keeps hubs (the
+    # "breadth-first crawling yields high-quality pages" observation).
+    crawl = snowball_sample(graph, budget=budget, rng_seed=11)
+    assert degree_stats(crawl)["max"] > 10
+
+
+if __name__ == "__main__":
+    main()

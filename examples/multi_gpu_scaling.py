@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Scale concurrent BFS across a simulated GPU cluster (Figure 17).
+
+Groups of BFS instances are independent, so a cluster only has to
+balance their runtimes across devices.  This example runs a GroupBy
+workload on one simulated K20, then schedules the resulting groups on
+clusters of growing size and prints the speedup curve.
+
+Run:  python examples/multi_gpu_scaling.py
+"""
+
+import numpy as np
+
+from repro import IBFS, IBFSConfig, KEPLER_K20, Cluster, Device, benchmark_graph
+from repro.gpusim.cluster import schedule_lpt, schedule_round_robin
+
+
+def main() -> None:
+    graph = benchmark_graph("FB")
+    rng = np.random.default_rng(17)
+    sources = sorted(
+        rng.choice(graph.num_vertices, 672, replace=False).tolist()
+    )
+
+    engine = IBFS(
+        graph,
+        IBFSConfig(group_size=4, groupby=True),
+        device=Device(KEPLER_K20),
+    )
+    result = engine.run(sources, store_depths=False)
+    durations = result.group_times()
+    print(
+        f"workload: {len(sources)} BFS instances in {len(durations)} groups, "
+        f"{result.seconds * 1e3:.2f} ms on one K20"
+    )
+
+    counts = (1, 2, 4, 8, 16, 32, 64, 112)
+    lpt_curve = Cluster(1, KEPLER_K20, schedule_lpt).speedup_curve(
+        durations, counts
+    )
+    rr_curve = Cluster(1, KEPLER_K20, schedule_round_robin).speedup_curve(
+        durations, counts
+    )
+
+    print(f"\n{'GPUs':>5}{'LPT speedup':>13}{'round-robin':>13}")
+    for count, lpt, rr in zip(counts, lpt_curve, rr_curve):
+        print(f"{count:>5}{lpt:>12.1f}x{rr:>12.1f}x")
+
+    makespan = Cluster(112, KEPLER_K20).run(durations)
+    print(
+        f"\non 112 GPUs: makespan {makespan.makespan * 1e6:.1f} us, "
+        f"imbalance {makespan.imbalance:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Applications built on concurrent BFS (sections 1 and 8.7).
+
+The paper motivates iBFS with graph algorithms that need many BFS
+traversals: reachability-index construction (Table 1), betweenness
+centrality, and closeness centrality.  Each application here accepts
+any engine with the common ``run(sources, ...)`` interface, so the
+paper's system comparison is a one-line engine swap.
+"""
+
+from repro.apps.reachability import ReachabilityIndex, build_reachability_index
+from repro.apps.closeness import closeness_centrality
+from repro.apps.betweenness import betweenness_centrality
+from repro.apps.apsp import (
+    apsp_unweighted,
+    floyd_warshall,
+    eccentricities,
+    exact_diameter,
+)
+from repro.apps.components import (
+    connected_components_concurrent,
+    component_sizes,
+)
+from repro.apps.topk_closeness import top_k_closeness, exact_closeness_ranking
+
+__all__ = [
+    "ReachabilityIndex",
+    "build_reachability_index",
+    "closeness_centrality",
+    "betweenness_centrality",
+    "apsp_unweighted",
+    "floyd_warshall",
+    "eccentricities",
+    "exact_diameter",
+    "connected_components_concurrent",
+    "component_sizes",
+    "top_k_closeness",
+    "exact_closeness_ranking",
+]

@@ -1,0 +1,54 @@
+"""Closeness centrality via concurrent BFS.
+
+Closeness of a vertex ``v`` is the reciprocal of its mean shortest-path
+distance to the vertices it can reach.  We use the Wasserman–Faust
+variant, which scales by the reached fraction so scores stay comparable
+on disconnected graphs:
+
+    C(v) = ((r - 1) / (n - 1)) * ((r - 1) / sum_of_depths)
+
+where ``r`` is the number of vertices reachable from ``v``.  Computing
+it for many vertices is exactly a concurrent-BFS workload (section 1
+cites closeness centrality as an iBFS application).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.core.result import ConcurrentResult
+
+
+class _ConcurrentEngine(Protocol):
+    def run(
+        self,
+        sources: Sequence[int],
+        max_depth: Optional[int] = None,
+        store_depths: bool = True,
+    ) -> ConcurrentResult: ...
+
+
+def closeness_centrality(
+    graph: CSRGraph,
+    engine: _ConcurrentEngine,
+    sources: Optional[Sequence[int]] = None,
+) -> Dict[int, float]:
+    """Closeness centrality of the given vertices (all by default)."""
+    if sources is None:
+        sources = range(graph.num_vertices)
+    result = engine.run(sources, store_depths=True)
+    n = graph.num_vertices
+    scores: Dict[int, float] = {}
+    for source in result.sources:
+        depths = result.depth_row(source)
+        reached_mask = depths > 0
+        reached = int(np.count_nonzero(reached_mask))
+        total = int(depths[reached_mask].sum())
+        if reached == 0 or total == 0 or n <= 1:
+            scores[int(source)] = 0.0
+            continue
+        scores[int(source)] = (reached / (n - 1)) * (reached / total)
+    return scores

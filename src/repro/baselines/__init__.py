@@ -1,0 +1,20 @@
+"""Comparator systems from the paper's related-work evaluation (section 8.6).
+
+* :class:`MSBFS` — the CPU multi-source BFS of Then et al. [26]:
+  bitwise statuses that reset every level (no early termination),
+  one software thread per instance, random grouping;
+* :class:`B40C` — Merrill et al.'s single-instance GPU BFS [29],
+  top-down only, run once per source;
+* :class:`SpMMBC` — the concurrent top-down-only GPU BFS used for
+  regularized centrality [27] ("it does not support bottom-up BFS");
+* :class:`CPUiBFS` — the full iBFS algorithm on the CPU cost model
+  (section 7): same joint/GroupBy/bitwise design, but atomics are
+  required and thread parallelism is far smaller.
+"""
+
+from repro.baselines.msbfs import MSBFS
+from repro.baselines.b40c import B40C
+from repro.baselines.spmm_bc import SpMMBC
+from repro.baselines.cpu_ibfs import CPUiBFS
+
+__all__ = ["MSBFS", "B40C", "SpMMBC", "CPUiBFS"]

@@ -1,0 +1,45 @@
+"""B40C baseline: single-instance GPU BFS run once per source.
+
+"B40C runs a single BFS instance on GPUs" (section 8.6) and is
+top-down-only (no direction optimization), which is why the paper's
+figure 22 and table 1 show it far behind even the sequential
+Enterprise-style engine on power-law graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import Device
+from repro.bfs.direction import DirectionPolicy
+from repro.bfs.sequential import SequentialConcurrentBFS
+from repro.core.result import ConcurrentResult
+
+
+class B40C:
+    """Top-down-only single-instance GPU BFS, one kernel per source."""
+
+    name = "b40c"
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        device: Optional[Device] = None,
+    ) -> None:
+        policy = DirectionPolicy(allow_bottom_up=False)
+        self._engine = SequentialConcurrentBFS(graph, device, policy)
+        self.graph = graph
+
+    def run(
+        self,
+        sources: Sequence[int],
+        max_depth: Optional[int] = None,
+        store_depths: bool = True,
+    ) -> ConcurrentResult:
+        """Traverse from every source sequentially, top-down only."""
+        result = self._engine.run(
+            sources, max_depth=max_depth, store_depths=store_depths
+        )
+        result.engine = self.name
+        return result

@@ -1,0 +1,91 @@
+"""MS-BFS baseline (Then et al., VLDB 2015) on the CPU cost model.
+
+Faithful to how the iBFS paper characterizes it (sections 1, 6, 9):
+
+* bitwise per-instance statuses, but the frontier ("visit") array is
+  **reset at each level**, so the status array does not remember all
+  visited vertices and bottom-up **cannot terminate early**;
+* a single software thread runs each BFS instance, so no atomics are
+  needed, but only ``N`` threads are ever active;
+* instances are grouped randomly (no GroupBy).
+
+Implementation-wise this reuses :class:`~repro.core.bitwise.BitwiseTraversal`
+with ``early_termination=False``, ``reset_per_level=True`` and
+``thread_per_instance=True`` on the Xeon device preset.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.gpusim.config import XEON_CPU
+from repro.gpusim.counters import ProfilerCounters
+from repro.gpusim.device import Device
+from repro.bfs.direction import DirectionPolicy
+from repro.core.bitwise import BitwiseTraversal
+from repro.core.groupby import random_groups
+from repro.core.result import ConcurrentResult, GroupStats
+
+
+class MSBFS:
+    """Multi-source BFS with per-level status reset on a CPU."""
+
+    name = "ms-bfs"
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        group_size: int = 64,
+        device: Optional[Device] = None,
+        policy: Optional[DirectionPolicy] = None,
+        seed: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.group_size = group_size
+        self.device = device or Device(XEON_CPU)
+        self.seed = seed
+        self._engine = BitwiseTraversal(
+            graph,
+            self.device,
+            policy,
+            early_termination=False,
+            reset_per_level=True,
+            thread_per_instance=True,
+        )
+
+    def run(
+        self,
+        sources: Sequence[int],
+        max_depth: Optional[int] = None,
+        store_depths: bool = True,
+    ) -> ConcurrentResult:
+        """Traverse from all sources in randomly formed groups."""
+        sources = [int(s) for s in sources]
+        groups = random_groups(sources, self.group_size, self.seed)
+        counters = ProfilerCounters()
+        group_stats: List[GroupStats] = []
+        depth_rows = {} if store_depths else None
+        for group in groups:
+            depths, record, stats = self._engine.run_group(
+                group, max_depth=max_depth
+            )
+            counters.merge(record.counters)
+            group_stats.append(stats)
+            if depth_rows is not None:
+                for row, source in enumerate(group):
+                    depth_rows[source] = depths[row]
+        matrix = None
+        if depth_rows is not None:
+            matrix = np.stack([depth_rows[s] for s in sources])
+        return ConcurrentResult(
+            engine=self.name,
+            sources=sources,
+            seconds=sum(g.seconds for g in group_stats),
+            counters=counters,
+            depths=matrix,
+            num_vertices=self.graph.num_vertices,
+            groups=group_stats,
+        )

@@ -1,0 +1,98 @@
+"""Shortest-path reconstruction from BFS depth arrays.
+
+The engines output depth arrays rather than explicit parent pointers
+(the bitwise status array stores one *bit* per vertex-instance, so
+parents are not materialized).  A shortest path can nevertheless be
+reconstructed in O(path length x degree): from the target, repeatedly
+step to any in-neighbor exactly one level shallower — such a neighbor
+always exists for a valid BFS assignment (rule 3 of
+:mod:`repro.bfs.validate`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import TraversalError
+from repro.graph.csr import CSRGraph
+
+
+def extract_path(
+    graph: CSRGraph, source: int, depths: np.ndarray, target: int
+) -> List[int]:
+    """One shortest path ``source -> ... -> target`` as a vertex list.
+
+    ``depths`` must be the BFS depth array from ``source`` on ``graph``
+    (as produced by any engine).  Raises
+    :class:`~repro.errors.TraversalError` when the target is
+    unreachable or the depth array is inconsistent.
+    """
+    n = graph.num_vertices
+    depths = np.asarray(depths)
+    if depths.shape != (n,):
+        raise TraversalError(f"depth array shape {depths.shape} != ({n},)")
+    if not 0 <= target < n:
+        raise TraversalError(f"target {target} out of range [0, {n})")
+    if depths[source] != 0:
+        raise TraversalError(
+            f"depths[{source}] = {depths[source]}; not a depth array "
+            f"for source {source}"
+        )
+    if depths[target] < 0:
+        raise TraversalError(f"{target} is unreachable from {source}")
+
+    rev = graph.reverse()
+    path = [int(target)]
+    current = int(target)
+    while depths[current] > 0:
+        wanted = depths[current] - 1
+        parents = rev.neighbors(current)
+        shallower = parents[depths[parents] == wanted]
+        if shallower.size == 0:
+            raise TraversalError(
+                f"vertex {current} at depth {int(depths[current])} has no "
+                f"in-neighbor at depth {int(wanted)}: inconsistent depths"
+            )
+        current = int(shallower[0])
+        path.append(current)
+    if current != source:
+        raise TraversalError(
+            f"walk ended at {current}, not the source {source}"
+        )
+    path.reverse()
+    return path
+
+
+def path_length(
+    graph: CSRGraph, source: int, depths: np.ndarray, target: int
+) -> int:
+    """Number of edges on a shortest path, or -1 when unreachable."""
+    depths = np.asarray(depths)
+    if not 0 <= target < graph.num_vertices:
+        raise TraversalError(f"target {target} out of range")
+    return int(depths[target])
+
+
+def all_shortest_path_counts(graph: CSRGraph, source: int) -> np.ndarray:
+    """Number of distinct shortest paths from ``source`` to each vertex.
+
+    The sigma values of Brandes' algorithm, exposed directly: useful
+    for verifying betweenness and for path-diversity analysis.
+    """
+    from repro.bfs.reference import reference_bfs
+    from repro.util import gather_neighbors
+
+    depths = reference_bfs(graph, source)
+    sigma = np.zeros(graph.num_vertices, dtype=np.float64)
+    sigma[source] = 1.0
+    max_depth = int(depths.max()) if depths.size else 0
+    for level in range(max_depth):
+        frontier = np.flatnonzero(depths == level)
+        if frontier.size == 0:
+            break
+        srcs, nbrs = gather_neighbors(graph, frontier)
+        tree = depths[nbrs] == level + 1
+        np.add.at(sigma, nbrs[tree], sigma[srcs[tree]])
+    return sigma

@@ -1,0 +1,44 @@
+"""Oracle BFS used to validate every engine in the test suite.
+
+A deliberately simple queue-based traversal with no performance
+modeling: its depth arrays define correctness for the whole library.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import TraversalError
+from repro.graph.csr import CSRGraph
+
+#: Depth value for unreachable vertices.
+UNREACHED = -1
+
+
+def reference_bfs(graph: CSRGraph, source: int) -> np.ndarray:
+    """BFS depths from ``source``; unreachable vertices get ``-1``."""
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise TraversalError(f"source {source} out of range [0, {n})")
+    depths = np.full(n, UNREACHED, dtype=np.int32)
+    depths[source] = 0
+    queue = deque([source])
+    offsets = graph.row_offsets
+    indices = graph.col_indices
+    while queue:
+        v = queue.popleft()
+        next_depth = depths[v] + 1
+        for idx in range(offsets[v], offsets[v + 1]):
+            w = indices[idx]
+            if depths[w] == UNREACHED:
+                depths[w] = next_depth
+                queue.append(w)
+    return depths
+
+
+def reference_bfs_multi(graph: CSRGraph, sources: Sequence[int]) -> np.ndarray:
+    """Stacked depth arrays, one row per source (the oracle for MSSP/APSP)."""
+    return np.stack([reference_bfs(graph, int(s)) for s in sources])

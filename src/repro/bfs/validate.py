@@ -1,0 +1,91 @@
+"""Graph500-style self-validation of BFS output.
+
+The Graph500 specification (whose generator the paper uses for
+KG0/KG1/KG2) validates a BFS result without an oracle by checking
+local consistency.  :func:`validate_depths` applies the depth-array
+analogue of those rules:
+
+1. the source has depth 0 and every other depth is -1 or positive;
+2. every edge spans at most one level
+   (``|depth(u) - depth(v)| <= 1`` when both endpoints are reached);
+3. every reached non-source vertex has an in-neighbor exactly one
+   level shallower (a valid BFS parent exists);
+4. reachability is closed: no edge leads from a reached vertex to an
+   unreached one.
+
+These checks run in O(|V| + |E|) and are used by the property-based
+tests as an oracle-free cross-check on every engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraversalError
+from repro.graph.csr import CSRGraph
+
+
+def validate_depths(graph: CSRGraph, source: int, depths: np.ndarray) -> None:
+    """Raise :class:`TraversalError` when ``depths`` is not a valid BFS
+    depth assignment for ``source`` on ``graph``."""
+    n = graph.num_vertices
+    depths = np.asarray(depths)
+    if depths.shape != (n,):
+        raise TraversalError(
+            f"depth array shape {depths.shape} != ({n},)"
+        )
+    if not 0 <= source < n:
+        raise TraversalError(f"source {source} out of range [0, {n})")
+
+    # Rule 1: source at zero; everything else -1 or >= 1.
+    if depths[source] != 0:
+        raise TraversalError(f"source depth is {depths[source]}, expected 0")
+    others = np.delete(depths, source)
+    if np.any((others != -1) & (others < 1)):
+        raise TraversalError("non-source vertices must have depth -1 or >= 1")
+
+    sources_arr, dests_arr = graph.edge_array()
+    du = depths[sources_arr]
+    dv = depths[dests_arr]
+    both = (du >= 0) & (dv >= 0)
+
+    # Rule 2: an edge (u, v) forces depth(v) <= depth(u) + 1.
+    stretched = both & (dv > du + 1)
+    if stretched.any():
+        idx = int(np.flatnonzero(stretched)[0])
+        raise TraversalError(
+            f"edge ({int(sources_arr[idx])}, {int(dests_arr[idx])}) spans "
+            f"{int(du[idx])} -> {int(dv[idx])}: BFS would have found the "
+            "shorter path"
+        )
+
+    # Rule 4: no reached -> unreached edge.
+    leaking = (du >= 0) & (dv == -1)
+    if leaking.any():
+        idx = int(np.flatnonzero(leaking)[0])
+        raise TraversalError(
+            f"vertex {int(dests_arr[idx])} is marked unreached but has the "
+            f"reached in-neighbor {int(sources_arr[idx])}"
+        )
+
+    # Rule 3: each reached non-source vertex has a parent one level up.
+    has_parent = np.zeros(n, dtype=bool)
+    parent_edges = both & (dv == du + 1)
+    has_parent[dests_arr[parent_edges]] = True
+    reached = depths >= 1
+    orphans = reached & ~has_parent
+    if orphans.any():
+        vertex = int(np.flatnonzero(orphans)[0])
+        raise TraversalError(
+            f"vertex {vertex} has depth {int(depths[vertex])} but no "
+            "in-neighbor one level shallower"
+        )
+
+
+def is_valid_bfs(graph: CSRGraph, source: int, depths: np.ndarray) -> bool:
+    """Boolean form of :func:`validate_depths`."""
+    try:
+        validate_depths(graph, source, depths)
+    except TraversalError:
+        return False
+    return True

@@ -1,0 +1,282 @@
+"""Command-line interface for the iBFS reproduction.
+
+Subcommands mirror the workflows a user of the original system would
+run:
+
+* ``generate`` — build a synthetic graph and save it to disk;
+* ``info`` — print structural statistics of a stored graph;
+* ``run`` — concurrent BFS with a chosen engine, printing TEPS and
+  profiler counters;
+* ``compare`` — the figure-15 engine ladder on one graph;
+* ``groups`` — show the GroupBy partition for a source set.
+
+Usage: ``python -m repro.cli <subcommand> --help``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro import (
+    IBFS,
+    IBFSConfig,
+    NaiveConcurrentBFS,
+    SequentialConcurrentBFS,
+    benchmark_graph,
+)
+from repro.graph import (
+    BENCHMARK_NAMES,
+    CSRGraph,
+    kronecker,
+    load_csr,
+    rmat,
+    save_csr,
+    uniform_random,
+)
+from repro.graph.properties import degree_stats, gini_coefficient
+from repro.core.groupby import GroupByConfig, group_sources
+
+
+def _load_graph(spec: str) -> CSRGraph:
+    """Interpret a graph argument: a benchmark name or a saved CSR path."""
+    if spec.upper() in BENCHMARK_NAMES:
+        return benchmark_graph(spec)
+    return load_csr(spec)
+
+
+def _pick_sources(graph: CSRGraph, count: int, seed: int) -> List[int]:
+    rng = np.random.default_rng(seed)
+    count = min(count, graph.num_vertices)
+    return sorted(
+        rng.choice(graph.num_vertices, size=count, replace=False).tolist()
+    )
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "kronecker":
+        graph = kronecker(args.scale, args.edge_factor, seed=args.seed)
+    elif args.kind == "rmat":
+        graph = rmat(args.scale, args.edge_factor, seed=args.seed)
+    else:
+        graph = uniform_random(1 << args.scale, args.edge_factor, seed=args.seed)
+    save_csr(graph, args.output)
+    print(
+        f"wrote {args.kind} graph: {graph.num_vertices} vertices, "
+        f"{graph.num_edges} edges -> {args.output}"
+    )
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    stats = degree_stats(graph)
+    print(f"vertices        : {graph.num_vertices}")
+    print(f"directed edges  : {graph.num_edges}")
+    print(f"average degree  : {graph.average_degree:.2f}")
+    print(f"max degree      : {int(stats['max'])}")
+    print(f"degree stddev   : {stats['std']:.2f}")
+    print(f"degree gini     : {gini_coefficient(graph):.3f}")
+    print(f"symmetric       : {graph.is_symmetric()}")
+    print(f"csr bytes       : {graph.memory_bytes():,}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    sources = _pick_sources(graph, args.sources, args.seed)
+    engine = IBFS(
+        graph,
+        IBFSConfig(
+            group_size=args.group_size,
+            mode=args.mode,
+            groupby=not args.no_groupby,
+        ),
+    )
+    result = engine.run(sources, store_depths=False)
+    print(f"engine            : {result.engine}")
+    print(f"instances         : {result.num_instances}")
+    print(f"groups            : {len(result.groups)}")
+    print(f"simulated runtime : {result.seconds * 1e3:.3f} ms")
+    print(f"traversal rate    : {result.teps / 1e9:.2f} GTEPS")
+    print(f"sharing degree    : {result.sharing_degree:.2f}")
+    print(f"load transactions : {result.counters.global_load_transactions:,}")
+    print(f"store transactions: {result.counters.global_store_transactions:,}")
+    print(f"early terminations: {result.counters.early_terminations:,}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    sources = _pick_sources(graph, args.sources, args.seed)
+    engines = {
+        "sequential": SequentialConcurrentBFS(graph),
+        "naive": NaiveConcurrentBFS(graph),
+        "joint": IBFS(
+            graph,
+            IBFSConfig(group_size=args.group_size, mode="joint", groupby=False),
+        ),
+        "bitwise": IBFS(
+            graph,
+            IBFSConfig(group_size=args.group_size, mode="bitwise", groupby=False),
+        ),
+        "groupby": IBFS(
+            graph,
+            IBFSConfig(group_size=args.group_size, mode="bitwise", groupby=True),
+        ),
+    }
+    baseline = None
+    print(f"{'engine':<12}{'GTEPS':>8}{'ms':>10}{'speedup':>9}")
+    for label, engine in engines.items():
+        result = engine.run(sources, store_depths=False)
+        if baseline is None:
+            baseline = result.seconds
+        print(
+            f"{label:<12}{result.teps / 1e9:>8.2f}"
+            f"{result.seconds * 1e3:>10.3f}"
+            f"{baseline / result.seconds:>8.2f}x"
+        )
+    return 0
+
+
+def cmd_groups(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    sources = _pick_sources(graph, args.sources, args.seed)
+    groups = group_sources(
+        graph, sources, args.group_size, GroupByConfig(q=args.q)
+    )
+    degrees = graph.out_degrees()
+    print(f"{len(sources)} sources -> {len(groups)} groups "
+          f"(group size {args.group_size}, q={args.q})")
+    for i, members in enumerate(groups):
+        mean_deg = float(np.mean([degrees[s] for s in members]))
+        print(
+            f"  group {i:>3}: {len(members):>3} sources, "
+            f"mean outdegree {mean_deg:.1f}"
+        )
+    return 0
+
+
+def cmd_sssp(args: argparse.Namespace) -> int:
+    from repro.bfs.sssp import DeltaStepping, dijkstra
+    from repro.graph.weighted import with_random_weights
+
+    graph = _load_graph(args.graph)
+    weighted = with_random_weights(
+        graph, low=args.min_weight, high=args.max_weight, seed=args.seed
+    )
+    source = args.source
+    if source is None:
+        source = int(graph.out_degrees().argmax())
+    result = DeltaStepping(weighted, delta=args.delta).run(source)
+    exact = dijkstra(weighted, source)
+    assert np.allclose(result.distances, exact, equal_nan=True)
+    finite = np.isfinite(result.distances)
+    print(f"source            : {source}")
+    print(f"reached           : {int(finite.sum())} / {graph.num_vertices}")
+    if finite.any():
+        print(f"max distance      : {result.distances[finite].max():.3f}")
+    print(f"relaxations       : {result.relaxations:,}")
+    print(f"simulated runtime : {result.seconds * 1e3:.3f} ms")
+    print("verified against Dijkstra: ok")
+    return 0
+
+
+def cmd_topk(args: argparse.Namespace) -> int:
+    from repro.apps.topk_closeness import top_k_closeness
+
+    graph = _load_graph(args.graph)
+    ranking = top_k_closeness(graph, args.k)
+    degrees = graph.out_degrees()
+    print(f"top-{args.k} closeness on {args.graph}:")
+    for rank, (vertex, score) in enumerate(ranking, start=1):
+        print(
+            f"  {rank:>2}. vertex {vertex:>6}  closeness={score:.4f}  "
+            f"degree={int(degrees[vertex])}"
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="iBFS reproduction: concurrent BFS on a simulated GPU",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic graph")
+    gen.add_argument("--kind", choices=("kronecker", "rmat", "uniform"),
+                     default="kronecker")
+    gen.add_argument("--scale", type=int, default=12,
+                     help="log2 of the vertex count")
+    gen.add_argument("--edge-factor", type=int, default=16)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--output", required=True, help="output .csr path")
+    gen.set_defaults(func=cmd_generate)
+
+    info = sub.add_parser("info", help="print graph statistics")
+    info.add_argument("graph", help="benchmark name (FB, KG0, ...) or .csr path")
+    info.set_defaults(func=cmd_info)
+
+    run = sub.add_parser("run", help="run concurrent BFS with iBFS")
+    run.add_argument("graph")
+    run.add_argument("--sources", type=int, default=128)
+    run.add_argument("--group-size", type=int, default=32)
+    run.add_argument("--mode", choices=("bitwise", "joint"), default="bitwise")
+    run.add_argument("--no-groupby", action="store_true")
+    run.add_argument("--seed", type=int, default=42)
+    run.set_defaults(func=cmd_run)
+
+    cmp_ = sub.add_parser("compare", help="figure-15 style engine ladder")
+    cmp_.add_argument("graph")
+    cmp_.add_argument("--sources", type=int, default=128)
+    cmp_.add_argument("--group-size", type=int, default=32)
+    cmp_.add_argument("--seed", type=int, default=42)
+    cmp_.set_defaults(func=cmd_compare)
+
+    grp = sub.add_parser("groups", help="show the GroupBy partition")
+    grp.add_argument("graph")
+    grp.add_argument("--sources", type=int, default=128)
+    grp.add_argument("--group-size", type=int, default=32)
+    grp.add_argument("--q", type=int, default=128)
+    grp.add_argument("--seed", type=int, default=42)
+    grp.set_defaults(func=cmd_groups)
+
+    sssp = sub.add_parser(
+        "sssp", help="weighted SSSP (delta-stepping, Dijkstra-verified)"
+    )
+    sssp.add_argument("graph")
+    sssp.add_argument("--source", type=int, default=None,
+                      help="default: highest-outdegree vertex")
+    sssp.add_argument("--delta", type=float, default=None)
+    sssp.add_argument("--min-weight", type=float, default=1.0)
+    sssp.add_argument("--max-weight", type=float, default=10.0)
+    sssp.add_argument("--seed", type=int, default=42)
+    sssp.set_defaults(func=cmd_sssp)
+
+    topk = sub.add_parser("topk", help="top-k closeness centrality")
+    topk.add_argument("graph")
+    topk.add_argument("--k", type=int, default=10)
+    topk.set_defaults(func=cmd_topk)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

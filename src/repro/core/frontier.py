@@ -1,0 +1,121 @@
+"""Joint frontier queue generation with warp votes and ballots.
+
+Section 4: "iBFS assigns one warp to scan the status of each vertex...
+iBFS uses a CUDA vote instruction, i.e., __any(), to communicate among
+different threads in the same warp and schedules one thread to enqueue
+the frontier.  Furthermore, iBFS uses another CUDA feature
+__ballot(parameter) to generate a separate variable to indicate which
+BFS instances share this frontier."
+
+This module materializes exactly that: given the per-vertex frontier
+bits of a level, it produces the joint frontier queue together with
+each frontier's *ballot* (the bitmap of instances sharing it), and the
+sharing histogram ``s_j`` — how many frontiers are shared by exactly
+``j`` instances — which is the quantity Theorem 1's proof manipulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import TraversalError
+from repro.graph.csr import VERTEX_DTYPE
+from repro.gpusim.warp import popcount
+
+
+@dataclass
+class FrontierBallots:
+    """A generated joint frontier queue with per-frontier ballots."""
+
+    #: Vertex ids in the joint frontier queue (each shared vertex once).
+    queue: np.ndarray
+    #: ``(len(queue), lanes)`` uint64 ballots: bit j of row i set iff
+    #: instance j considers ``queue[i]`` a frontier.
+    ballots: np.ndarray
+    #: Group size (for ratio computations).
+    group_size: int
+
+    def __post_init__(self) -> None:
+        if self.queue.shape[0] != self.ballots.shape[0]:
+            raise TraversalError("queue and ballots must align")
+
+    @property
+    def size(self) -> int:
+        return int(self.queue.size)
+
+    def share_counts(self) -> np.ndarray:
+        """Instances sharing each frontier (popcount of each ballot)."""
+        if self.ballots.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        return popcount(self.ballots).sum(axis=1).astype(np.int64) if (
+            self.ballots.ndim > 1
+        ) else popcount(self.ballots)
+
+    def sharing_histogram(self) -> Dict[int, int]:
+        """``{j: s_j}`` — frontiers shared by exactly j instances.
+
+        These are the ``s_j(k)`` of the Theorem 1 proof; the sharing
+        degree of the level equals ``sum(j * s_j) / sum(s_j)``.
+        """
+        counts = self.share_counts()
+        histogram: Dict[int, int] = {}
+        if counts.size == 0:
+            return histogram
+        values, freq = np.unique(counts, return_counts=True)
+        for j, s in zip(values.tolist(), freq.tolist()):
+            histogram[int(j)] = int(s)
+        return histogram
+
+    def sharing_degree(self) -> float:
+        """``sum_j j * s_j / |JFQ|`` — the level's SD from ballots."""
+        counts = self.share_counts()
+        if counts.size == 0:
+            return 0.0
+        return float(counts.sum() / counts.size)
+
+
+def generate_jfq(frontier_bits: np.ndarray, group_size: int) -> FrontierBallots:
+    """Build the JFQ from per-vertex frontier bit words.
+
+    Parameters
+    ----------
+    frontier_bits:
+        ``(num_vertices, lanes)`` uint64; bit j of vertex v set iff
+        instance j considers v a frontier this level.  For top-down
+        that is ``BSA_k XOR BSA_{k-1}`` (just-visited); for bottom-up
+        ``NOT BSA_k`` masked to live instances.
+    group_size:
+        Number of instances (bounds the meaningful bits).
+
+    The warp-vote semantics: a vertex enters the queue iff ``__any`` of
+    its bits is set; its ballot is the word itself.
+    """
+    frontier_bits = np.ascontiguousarray(frontier_bits, dtype=np.uint64)
+    if frontier_bits.ndim == 1:
+        frontier_bits = frontier_bits[:, np.newaxis]
+    if group_size <= 0:
+        raise TraversalError("group_size must be positive")
+    any_set = np.any(frontier_bits != 0, axis=1)
+    queue = np.flatnonzero(any_set).astype(VERTEX_DTYPE)
+    return FrontierBallots(
+        queue=queue,
+        ballots=frontier_bits[queue],
+        group_size=group_size,
+    )
+
+
+def frontier_bits_top_down(
+    bsa_prev: np.ndarray, bsa_cur: np.ndarray, lane_mask: np.ndarray
+) -> np.ndarray:
+    """Algorithm 2's top-down identification: changed bits (XOR)."""
+    return (bsa_cur ^ bsa_prev) & lane_mask
+
+
+def frontier_bits_bottom_up(
+    bsa_cur: np.ndarray, lane_mask: np.ndarray
+) -> np.ndarray:
+    """Algorithm 2's bottom-up identification: unset bits (NOT)."""
+    return (~bsa_cur) & lane_mask

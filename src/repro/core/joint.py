@@ -1,0 +1,360 @@
+"""Joint traversal (section 4): one kernel, shared frontiers, JSA + JFQ.
+
+All instances of a group execute inside a single simulated kernel:
+
+* the **Joint Frontier Queue** holds every vertex that is a frontier
+  for *any* instance exactly once (generated with a warp scan + vote);
+* the **Joint Status Array** stores each vertex's N per-instance status
+  bytes contiguously, so N contiguous threads inspecting a vertex
+  coalesce into one memory transaction;
+* each frontier's adjacency list is loaded from global memory **once**
+  into the shared-memory cache and consumed by every instance.
+
+Each instance still inspects independently ("shared frontiers do not
+reduce the overall workload") — the savings are in memory traffic, and
+the counters below reflect exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import TraversalError
+from repro.graph.csr import CSRGraph, VERTEX_DTYPE
+from repro.gpusim.counters import LevelRecord, RunRecord
+from repro.gpusim.device import Device
+from repro.bfs.direction import Direction, DirectionPolicy
+from repro.core.result import GroupStats
+from repro.core.sharing import SharingObserver
+from repro.util import gather_neighbors
+
+#: One status byte per (vertex, instance) pair, as in figure 4.
+JSA_STATUS_BYTES = 1
+INSTRUCTIONS_PER_INSPECTION = 10
+INSTRUCTIONS_PER_VERTEX = 6
+
+UNVISITED = -1
+
+
+class JointTraversal:
+    """Joint (JSA-based, non-bitwise) traversal of one group."""
+
+    name = "joint"
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        device: Optional[Device] = None,
+        policy: Optional[DirectionPolicy] = None,
+    ) -> None:
+        self.graph = graph
+        self.device = device or Device()
+        self.policy = policy or DirectionPolicy()
+        self._reverse = graph.reverse() if self.policy.allow_bottom_up else None
+
+    def run_group(
+        self,
+        sources: Sequence[int],
+        max_depth: Optional[int] = None,
+    ):
+        """Traverse all sources jointly.
+
+        Returns
+        -------
+        (depths, record, stats):
+            ``depths`` is an ``(N, |V|)`` int32 matrix; ``record`` the
+            per-level cost records; ``stats`` a :class:`GroupStats`.
+        """
+        sources = [int(s) for s in sources]
+        n = self.graph.num_vertices
+        group_size = len(sources)
+        if group_size == 0:
+            raise TraversalError("group must contain at least one source")
+        for s in sources:
+            if not 0 <= s < n:
+                raise TraversalError(f"source {s} out of range [0, {n})")
+
+        depths = np.full((group_size, n), UNVISITED, dtype=np.int32)
+        depths[np.arange(group_size), sources] = 0
+        directions = [self.policy.initial()] * group_size
+        active = np.ones(group_size, dtype=bool)
+        out_degrees = self.graph.out_degrees()
+        total_edges = self.graph.num_edges
+
+        record = RunRecord()
+        observer = SharingObserver(group_size)
+        sharing_log = {"td": [], "bu": []}
+        bu_inspections = np.zeros(group_size, dtype=np.int64)
+
+        level = 0
+        while active.any():
+            if max_depth is not None and level >= max_depth:
+                break
+            if level > n + 1:
+                raise TraversalError("traversal failed to converge")
+            td_instances = [
+                j for j in range(group_size)
+                if active[j] and directions[j] is Direction.TOP_DOWN
+            ]
+            bu_instances = [
+                j for j in range(group_size)
+                if active[j] and directions[j] is Direction.BOTTOM_UP
+            ]
+            progressed = self._level(
+                depths,
+                td_instances,
+                bu_instances,
+                level,
+                record,
+                observer,
+                sharing_log,
+                bu_inspections,
+            )
+
+            # Per-instance bookkeeping: completion and direction switch.
+            for j in range(group_size):
+                if not active[j]:
+                    continue
+                new_frontier = depths[j] == level + 1
+                frontier_count = int(np.count_nonzero(new_frontier))
+                if directions[j] is Direction.TOP_DOWN:
+                    if frontier_count == 0:
+                        active[j] = False
+                        continue
+                else:
+                    if not progressed[j]:
+                        active[j] = False
+                        continue
+                frontier_edges = int(out_degrees[new_frontier].sum())
+                unexplored = total_edges - int(out_degrees[depths[j] >= 0].sum())
+                directions[j] = self.policy.next_direction(
+                    directions[j],
+                    frontier_edges,
+                    unexplored,
+                    frontier_count,
+                    n,
+                )
+            level += 1
+
+        record.counters.kernel_launches += 1
+        seconds = self.device.cost.kernel_time(record.levels)
+        stats = GroupStats(
+            sources=sources,
+            seconds=seconds,
+            sharing_degree=observer.degree(),
+            sharing_ratio=observer.ratio(),
+            jfq_sizes=list(observer.jfq_sizes),
+            per_level_sharing=observer.per_level_degree(),
+            td_sharing=sharing_log["td"],
+            bu_sharing=sharing_log["bu"],
+            bottom_up_inspections=bu_inspections.tolist(),
+        )
+        return depths, record, stats
+
+    # ------------------------------------------------------------------
+    # One synchronized level of the joint kernel
+    # ------------------------------------------------------------------
+    def _level(
+        self,
+        depths: np.ndarray,
+        td_instances: List[int],
+        bu_instances: List[int],
+        level: int,
+        record: RunRecord,
+        observer: SharingObserver,
+        sharing_log: dict,
+        bu_inspections: np.ndarray,
+    ) -> np.ndarray:
+        mem = self.device.memory
+        counters = record.counters
+        group_size = depths.shape[0]
+        num_vertices = depths.shape[1]
+        progressed = np.zeros(group_size, dtype=bool)
+
+        # Joint frontier queue for this level (each shared frontier once).
+        td_mask = (
+            np.any(depths[td_instances] == level, axis=0)
+            if td_instances
+            else np.zeros(num_vertices, dtype=bool)
+        )
+        bu_mask = (
+            np.any(depths[bu_instances] == UNVISITED, axis=0)
+            if bu_instances
+            else np.zeros(num_vertices, dtype=bool)
+        )
+        jfq_size = int(np.count_nonzero(td_mask | bu_mask))
+        fq_td = sum(
+            int(np.count_nonzero(depths[j] == level)) for j in td_instances
+        )
+        fq_bu = sum(
+            int(np.count_nonzero(depths[j] == UNVISITED)) for j in bu_instances
+        )
+        observer.record_level(fq_td + fq_bu, jfq_size)
+        sharing_log["td"].append((fq_td, int(np.count_nonzero(td_mask))))
+        sharing_log["bu"].append((fq_bu, int(np.count_nonzero(bu_mask))))
+        if jfq_size == 0:
+            record.append(LevelRecord(depth=level, direction="td"))
+            counters.levels += 1
+            return progressed
+
+        loads = 0
+        stores = 0
+        load_requests = 0
+        store_requests = 0
+        instructions = 0
+        inspections_level = 0
+
+        # --- Top-down pass -------------------------------------------
+        td_frontier = np.flatnonzero(td_mask).astype(VERTEX_DTYPE)
+        discovered_any = np.zeros(num_vertices, dtype=bool)
+        if td_frontier.size:
+            degrees = self.graph.out_degrees()[td_frontier]
+            pair_count = int(degrees.sum())
+            # Adjacency of each joint frontier is loaded once and cached
+            # in shared memory for all instances.
+            loads += mem.adjacency_transactions(degrees)
+            loads += mem.stream_transactions(td_frontier.size * 8)
+            counters.shared_memory_accesses += pair_count * max(
+                len(td_instances) - 1, 0
+            )
+            for j in td_instances:
+                frontier_j = np.flatnonzero(depths[j] == level).astype(VERTEX_DTYPE)
+                if frontier_j.size == 0:
+                    continue
+                _, neighbors = gather_neighbors(self.graph, frontier_j)
+                inspections_level += int(neighbors.size)
+                fresh = neighbors[depths[j, neighbors] == UNVISITED]
+                if fresh.size:
+                    depths[j, fresh] = level + 1
+                    discovered_any[fresh] = True
+                    progressed[j] = True
+            # N contiguous threads inspect each (frontier, neighbor)
+            # pair's N contiguous status bytes: one coalesced transaction
+            # per pair instead of one per instance.
+            loads += mem.status_group_transactions(
+                pair_count, group_size * JSA_STATUS_BYTES
+            )
+            load_requests += pair_count
+            td_discovered = int(np.count_nonzero(discovered_any))
+            stores += mem.status_group_transactions(
+                td_discovered, group_size * JSA_STATUS_BYTES
+            )
+            store_requests += td_discovered
+
+        # --- Bottom-up pass ------------------------------------------
+        if bu_instances:
+            probes, early, bu_discovered, vertex_rounds = self._bottom_up_pass(
+                depths, bu_instances, level, bu_inspections
+            )
+            progressed[bu_instances] |= bu_discovered > 0
+            counters.early_terminations += early
+            counters.bottom_up_inspections += probes
+            inspections_level += probes
+            bu_frontier = np.flatnonzero(bu_mask).astype(VERTEX_DTYPE)
+            loads += mem.stream_transactions(bu_frontier.size * 8)
+            loads += mem.adjacency_transactions(
+                self._reverse.out_degrees()[bu_frontier]
+            )
+            # Each (vertex, neighbor-position) probe round touches the
+            # probed parent's N contiguous statuses once for all
+            # instances still scanning (coalesced).
+            loads += mem.status_group_transactions(
+                vertex_rounds, group_size * JSA_STATUS_BYTES
+            )
+            load_requests += vertex_rounds
+            found = int(bu_discovered.sum())
+            stores += mem.status_group_transactions(
+                found, group_size * JSA_STATUS_BYTES
+            )
+            store_requests += found
+
+        # --- Joint frontier queue generation --------------------------
+        # One warp scans each vertex's N statuses and votes (__any); one
+        # thread enqueues, __ballot records the sharing bitmap.
+        loads += mem.stream_transactions(num_vertices * group_size * JSA_STATUS_BYTES)
+        load_requests += self.device.warps_for(num_vertices)
+        counters.warp_votes += num_vertices
+        stores += mem.stream_transactions(jfq_size * 8)
+        store_requests += self.device.warps_for(jfq_size)
+        counters.frontier_enqueues += jfq_size
+
+        instructions += (
+            inspections_level * INSTRUCTIONS_PER_INSPECTION
+            + jfq_size * INSTRUCTIONS_PER_VERTEX
+        )
+        counters.inspections += inspections_level
+        counters.edges_traversed += inspections_level
+        counters.levels += 1
+        counters.global_load_transactions += loads
+        counters.global_store_transactions += stores
+        counters.global_load_requests += load_requests
+        counters.global_store_requests += store_requests
+        counters.instructions += instructions
+
+        record.append(
+            LevelRecord(
+                depth=level,
+                direction="bu" if bu_instances and not td_instances else "td",
+                load_transactions=loads,
+                store_transactions=stores,
+                atomics=0,
+                instructions=instructions,
+                threads=jfq_size * group_size,
+                frontier_size=jfq_size,
+            )
+        )
+        return progressed
+
+    def _bottom_up_pass(
+        self,
+        depths: np.ndarray,
+        bu_instances: List[int],
+        level: int,
+        bu_inspections: np.ndarray,
+    ):
+        """Per-instance bottom-up probing with early termination.
+
+        Returns ``(total_probes, early_terminations, discovered_per_instance)``.
+        """
+        assert self._reverse is not None
+        rev = self._reverse
+        offsets = rev.row_offsets
+        indices = rev.col_indices
+        bu_rows = np.asarray(bu_instances, dtype=np.int64)
+
+        pair_row, pair_vertex = np.nonzero(depths[bu_rows] == UNVISITED)
+        if pair_row.size == 0:
+            return 0, 0, np.zeros(len(bu_instances), dtype=np.int64), 0
+        pair_vertex = pair_vertex.astype(VERTEX_DTYPE)
+        starts = offsets[pair_vertex]
+        ends = offsets[pair_vertex + 1]
+        found = np.zeros(pair_row.size, dtype=bool)
+        probes = np.zeros(pair_row.size, dtype=np.int64)
+        vertex_rounds = 0
+        round_idx = 0
+        while True:
+            alive = ~found & (starts + round_idx < ends)
+            if not alive.any():
+                break
+            alive_idx = np.flatnonzero(alive)
+            nb = indices[starts[alive_idx] + round_idx]
+            inst = bu_rows[pair_row[alive_idx]]
+            probes[alive_idx] += 1
+            vertex_rounds += int(np.unique(pair_vertex[alive_idx]).size)
+            parent_depth = depths[inst, nb]
+            hit = (parent_depth >= 0) & (parent_depth <= level)
+            found[alive_idx[hit]] = True
+            round_idx += 1
+
+        discovered_idx = np.flatnonzero(found)
+        depths[
+            bu_rows[pair_row[discovered_idx]], pair_vertex[discovered_idx]
+        ] = level + 1
+        early = int(np.count_nonzero(found & (probes < (ends - starts))))
+        np.add.at(bu_inspections, bu_rows[pair_row], probes)
+        discovered_per_instance = np.bincount(
+            pair_row[discovered_idx], minlength=len(bu_instances)
+        )
+        return int(probes.sum()), early, discovered_per_instance, vertex_rounds

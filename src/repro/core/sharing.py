@@ -1,0 +1,104 @@
+"""Frontier-sharing theory (section 5.1): sharing degree and ratio.
+
+Definitions from the paper, for a group A of N instances:
+
+* ``SD_A = (sum_k sum_j |FQ_j(k)|) / (sum_k |JFQ_A(k)|)`` — how many
+  instances share an average joint frontier;
+* sharing ratio = ``SD_A / N`` in [1/N, 1];
+* Lemma 1: ``SD_A`` equals the expected speedup of joint over
+  sequential execution of the group;
+* Theorem 1 / Lemma 2: a group with the higher sharing ratio at an
+  early level keeps the higher *expected* ratio later, so grouping can
+  be decided from the first levels.
+
+:class:`SharingObserver` accumulates the per-level queue sizes that all
+of these formulas need while an engine runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import GroupingError
+
+
+def sharing_degree(fq_sizes_per_level: Sequence[int], jfq_sizes: Sequence[int]) -> float:
+    """SD from total per-instance queue sizes and joint queue sizes.
+
+    ``fq_sizes_per_level[k]`` must already be summed over instances:
+    ``sum_j |FQ_j(k)|``.
+    """
+    if len(fq_sizes_per_level) != len(jfq_sizes):
+        raise GroupingError("per-level size lists must have equal length")
+    joint_total = sum(jfq_sizes)
+    if joint_total == 0:
+        return 0.0
+    return sum(fq_sizes_per_level) / joint_total
+
+
+def sharing_ratio(sd: float, group_size: int) -> float:
+    """Sharing ratio = sharing degree normalized by group size."""
+    if group_size <= 0:
+        raise GroupingError("group size must be positive")
+    return sd / group_size
+
+
+def pairwise_sharing(frontier_a: np.ndarray, frontier_b: np.ndarray) -> float:
+    """Shared-frontier percentage between two instances at one level.
+
+    Figure 2's metric: ``|FQ_a ∩ FQ_b| / |FQ_a ∪ FQ_b|`` (Jaccard), as a
+    fraction in [0, 1]; 0 when both frontiers are empty.
+    """
+    a = np.asarray(frontier_a)
+    b = np.asarray(frontier_b)
+    union = np.union1d(a, b).size
+    if union == 0:
+        return 0.0
+    return np.intersect1d(a, b).size / union
+
+
+@dataclass
+class SharingObserver:
+    """Accumulates queue sizes during a joint traversal.
+
+    For each level an engine reports the summed per-instance frontier
+    count and the joint queue size; afterwards :meth:`degree` and
+    :meth:`ratio` give the group's SD and sharing ratio, and
+    :meth:`per_level_degree` gives figure 6's per-level trend.
+    """
+
+    group_size: int
+    fq_totals: List[int] = field(default_factory=list)
+    jfq_sizes: List[int] = field(default_factory=list)
+
+    def record_level(self, fq_total: int, jfq_size: int) -> None:
+        """Record one level's ``sum_j |FQ_j(k)|`` and ``|JFQ(k)|``."""
+        if fq_total < jfq_size:
+            raise GroupingError(
+                "summed per-instance frontiers cannot be smaller than the "
+                f"joint queue: {fq_total} < {jfq_size}"
+            )
+        self.fq_totals.append(int(fq_total))
+        self.jfq_sizes.append(int(jfq_size))
+
+    def degree(self) -> float:
+        """Overall sharing degree SD for the observed run."""
+        return sharing_degree(self.fq_totals, self.jfq_sizes)
+
+    def ratio(self) -> float:
+        """Overall sharing ratio SD / N."""
+        return sharing_ratio(self.degree(), self.group_size)
+
+    def per_level_degree(self) -> List[float]:
+        """SD restricted to each level (figure 6's y-axis)."""
+        out = []
+        for fq_total, jfq in zip(self.fq_totals, self.jfq_sizes):
+            out.append(fq_total / jfq if jfq else 0.0)
+        return out
+
+    def expected_speedup(self) -> float:
+        """Lemma 1: E[speedup of joint over sequential] == SD."""
+        return self.degree()

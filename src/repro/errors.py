@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one type to handle all
+library-level failures while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised when a graph is structurally invalid or malformed."""
+
+
+class GraphFormatError(GraphError):
+    """Raised when graph input/output data cannot be parsed or written."""
+
+
+class SimulationError(ReproError):
+    """Raised when the GPU simulator is misconfigured or misused."""
+
+
+class CapacityError(SimulationError):
+    """Raised when a workload exceeds the simulated device's resources."""
+
+
+class TraversalError(ReproError):
+    """Raised when a BFS engine receives invalid sources or options."""
+
+
+class GroupingError(ReproError):
+    """Raised when GroupBy receives invalid parameters or source sets."""

@@ -1,0 +1,129 @@
+"""Multi-device cluster simulation for the scaling study (figure 17).
+
+The paper's 112-GPU run needs no inter-GPU communication: "as long as
+different GPUs work on independent BFSes, there is no need for inter-GPU
+communication.  Therefore, the key challenge here is achieving workload
+balance".  The cluster simulator therefore (a) assigns work units
+(groups of BFS instances, each with a known simulated duration) to
+devices with a pluggable scheduling policy and (b) reports the makespan
+— "the longest time consumption of all the GPUs is reported".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gpusim.config import DeviceConfig, KEPLER_K20
+from repro.gpusim.device import Device
+
+#: A scheduling policy maps (durations, num_devices) -> device id per unit.
+Scheduler = Callable[[Sequence[float], int], np.ndarray]
+
+
+def schedule_round_robin(durations: Sequence[float], num_devices: int) -> np.ndarray:
+    """Static round-robin assignment (what a simple MPI rank split does)."""
+    if num_devices <= 0:
+        raise SimulationError("num_devices must be positive")
+    return np.arange(len(durations)) % num_devices
+
+
+def schedule_lpt(durations: Sequence[float], num_devices: int) -> np.ndarray:
+    """Longest-processing-time-first greedy assignment.
+
+    Sorting units by decreasing duration and placing each on the
+    least-loaded device is the classic 4/3-approximation for makespan;
+    it models a runtime that knows per-group costs (estimable from the
+    first levels, per Lemma 2).
+    """
+    if num_devices <= 0:
+        raise SimulationError("num_devices must be positive")
+    durations = np.asarray(durations, dtype=np.float64)
+    assignment = np.zeros(durations.size, dtype=np.int64)
+    loads = np.zeros(num_devices, dtype=np.float64)
+    for unit in np.argsort(-durations, kind="stable"):
+        device = int(np.argmin(loads))
+        assignment[unit] = device
+        loads[device] += durations[unit]
+    return assignment
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one cluster scheduling run."""
+
+    num_devices: int
+    makespan: float
+    device_times: np.ndarray
+    assignment: np.ndarray
+
+    @property
+    def total_work(self) -> float:
+        return float(self.device_times.sum())
+
+    @property
+    def imbalance(self) -> float:
+        """Makespan / mean device time; 1.0 is perfectly balanced."""
+        mean = self.device_times.mean() if self.device_times.size else 0.0
+        if mean == 0:
+            return 1.0
+        return self.makespan / mean
+
+
+class Cluster:
+    """A fleet of identical simulated devices (Stampede-style)."""
+
+    def __init__(
+        self,
+        num_devices: int,
+        config: Optional[DeviceConfig] = None,
+        scheduler: Scheduler = schedule_lpt,
+    ) -> None:
+        if num_devices <= 0:
+            raise SimulationError("a cluster needs at least one device")
+        self.num_devices = num_devices
+        self.config = config or KEPLER_K20
+        self.scheduler = scheduler
+        self.devices = [Device(self.config) for _ in range(num_devices)]
+
+    def run(self, unit_durations: Sequence[float]) -> ClusterResult:
+        """Schedule work units and return per-device times and makespan."""
+        durations = np.asarray(unit_durations, dtype=np.float64)
+        if durations.size == 0:
+            return ClusterResult(
+                self.num_devices,
+                0.0,
+                np.zeros(self.num_devices),
+                np.empty(0, dtype=np.int64),
+            )
+        if np.any(durations < 0):
+            raise SimulationError("unit durations must be non-negative")
+        assignment = np.asarray(self.scheduler(durations, self.num_devices))
+        device_times = np.zeros(self.num_devices, dtype=np.float64)
+        np.add.at(device_times, assignment, durations)
+        return ClusterResult(
+            self.num_devices,
+            float(device_times.max()),
+            device_times,
+            assignment,
+        )
+
+    def speedup_curve(
+        self,
+        unit_durations: Sequence[float],
+        device_counts: Sequence[int],
+    ) -> List[float]:
+        """Speedup over a single device for each device count.
+
+        This is figure 17's y-axis: near-linear while groups outnumber
+        devices, then flattening as imbalance emerges.
+        """
+        base = Cluster(1, self.config, self.scheduler).run(unit_durations).makespan
+        curve = []
+        for count in device_counts:
+            result = Cluster(count, self.config, self.scheduler).run(unit_durations)
+            curve.append(base / result.makespan if result.makespan > 0 else 0.0)
+        return curve

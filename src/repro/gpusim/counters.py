@@ -1,0 +1,130 @@
+"""Profiler counters mirroring the quantities the paper's figures report.
+
+Figure 18 reports global *store* transactions during frontier-queue
+generation, figure 19 global *load transactions per request*, figure 21
+total load transactions, and figure 11 bottom-up inspection counts.  A
+:class:`ProfilerCounters` instance accumulates all of these; engines
+additionally emit one :class:`LevelRecord` per traversal level so the
+cost model can price levels individually (bandwidth vs latency bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import List
+
+
+@dataclass
+class ProfilerCounters:
+    """Cumulative simulated hardware counters for one run."""
+
+    #: Coalesced global-memory load transactions (128 B each on Kepler).
+    global_load_transactions: int = 0
+    #: Coalesced global-memory store transactions.
+    global_store_transactions: int = 0
+    #: Warp-level load requests (one per warp memory instruction).
+    global_load_requests: int = 0
+    #: Warp-level store requests.
+    global_store_requests: int = 0
+    #: Global atomic operations (post shared-memory merging).
+    atomic_operations: int = 0
+    #: Shared-memory (cache) accesses that avoided global traffic.
+    shared_memory_accesses: int = 0
+    #: Warp vote instructions (__any / __ballot).
+    warp_votes: int = 0
+    #: Kernel launches.
+    kernel_launches: int = 0
+    #: BFS levels executed (across all instances/groups).
+    levels: int = 0
+    #: Status inspections performed (the paper's workload measure).
+    inspections: int = 0
+    #: Inspections performed during bottom-up levels only (figure 11).
+    bottom_up_inspections: int = 0
+    #: Directed edges traversed (TEPS numerator).
+    edges_traversed: int = 0
+    #: Frontier-queue enqueue operations.
+    frontier_enqueues: int = 0
+    #: Bottom-up scans cut short by early termination.
+    early_terminations: int = 0
+    #: Scalar instructions issued (cost-model compute term).
+    instructions: int = 0
+
+    def merge(self, other: "ProfilerCounters") -> None:
+        """Add another run's counters into this one, in place."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def __add__(self, other: "ProfilerCounters") -> "ProfilerCounters":
+        merged = ProfilerCounters()
+        merged.merge(self)
+        merged.merge(other)
+        return merged
+
+    @property
+    def loads_per_request(self) -> float:
+        """Global load transactions per warp request (figure 19's metric);
+        1.0 means perfectly coalesced."""
+        if self.global_load_requests == 0:
+            return 0.0
+        return self.global_load_transactions / self.global_load_requests
+
+    @property
+    def stores_per_request(self) -> float:
+        """Global store transactions per warp store request."""
+        if self.global_store_requests == 0:
+            return 0.0
+        return self.global_store_transactions / self.global_store_requests
+
+    def snapshot(self) -> "ProfilerCounters":
+        """Independent copy of the current counter values."""
+        copy = ProfilerCounters()
+        copy.merge(self)
+        return copy
+
+
+@dataclass
+class LevelRecord:
+    """Work performed in one BFS level of one kernel.
+
+    The cost model prices each level as
+    ``overhead + max(bandwidth_term, compute_term, atomic_term,
+    latency_floor)`` and the naive multi-kernel baseline additionally
+    aggregates concurrent levels' ``threads`` demand to model
+    oversubscription at direction switches.
+    """
+
+    #: Level depth (k).
+    depth: int
+    #: "td" or "bu".
+    direction: str
+    #: Global load transactions issued by this level.
+    load_transactions: int = 0
+    #: Global store transactions issued by this level.
+    store_transactions: int = 0
+    #: Global atomics issued by this level.
+    atomics: int = 0
+    #: Scalar instructions issued by this level.
+    instructions: int = 0
+    #: Peak concurrent thread demand of this level.
+    threads: int = 0
+    #: Frontier count of this level (diagnostics / sharing stats).
+    frontier_size: int = 0
+
+    @property
+    def transaction_total(self) -> int:
+        return self.load_transactions + self.store_transactions
+
+
+@dataclass
+class RunRecord:
+    """Per-level records plus final counters for one engine run."""
+
+    levels: List[LevelRecord] = field(default_factory=list)
+    counters: ProfilerCounters = field(default_factory=ProfilerCounters)
+
+    def append(self, record: LevelRecord) -> None:
+        self.levels.append(record)
+
+    @property
+    def total_transactions(self) -> int:
+        return sum(level.transaction_total for level in self.levels)

@@ -1,0 +1,97 @@
+"""Energy accounting for simulated runs (Green Graph500-style).
+
+The paper generates its synthetic graphs with the Graph500 tools and
+cites the Green Graph500 list [45], whose metric is traversed edges per
+second *per watt*.  This module prices a run's energy from the same
+counters the cost model uses: DRAM traffic dominates BFS energy, with
+smaller per-instruction and per-atomic terms and a static (leakage +
+idle) power draw over the simulated runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.gpusim.config import DeviceConfig
+from repro.gpusim.counters import ProfilerCounters
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy costs for one device.
+
+    Defaults approximate a 28 nm Kepler-class part: ~20 pJ/bit for DRAM
+    access (including the interface), ~25 pJ per scalar instruction
+    (datapath + scheduling), 10x that per global atomic, and a 100 W
+    static draw against a 235 W TDP.
+    """
+
+    dram_joules_per_byte: float = 20e-12 * 8
+    instruction_joules: float = 25e-12
+    atomic_joules: float = 250e-12
+    static_watts: float = 100.0
+
+    def __post_init__(self) -> None:
+        if min(
+            self.dram_joules_per_byte,
+            self.instruction_joules,
+            self.atomic_joules,
+            self.static_watts,
+        ) < 0:
+            raise SimulationError("energy parameters must be non-negative")
+
+    def dynamic_energy(
+        self, counters: ProfilerCounters, config: DeviceConfig
+    ) -> float:
+        """Joules consumed by memory traffic, instructions, and atomics."""
+        bytes_moved = (
+            counters.global_load_transactions + counters.global_store_transactions
+        ) * config.transaction_bytes
+        return (
+            bytes_moved * self.dram_joules_per_byte
+            + counters.instructions * self.instruction_joules
+            + counters.atomic_operations * self.atomic_joules
+        )
+
+    def total_energy(
+        self,
+        counters: ProfilerCounters,
+        config: DeviceConfig,
+        seconds: float,
+    ) -> float:
+        """Dynamic energy plus static draw over the simulated runtime."""
+        if seconds < 0:
+            raise SimulationError("seconds must be non-negative")
+        return self.dynamic_energy(counters, config) + self.static_watts * seconds
+
+    def teps_per_watt(
+        self,
+        counters: ProfilerCounters,
+        config: DeviceConfig,
+        seconds: float,
+    ) -> float:
+        """The Green Graph500 metric: TEPS divided by average power."""
+        energy = self.total_energy(counters, config, seconds)
+        if energy <= 0 or seconds <= 0:
+            return 0.0
+        teps = counters.edges_traversed / seconds
+        watts = energy / seconds
+        return teps / watts
+
+
+def energy_report(result, config: DeviceConfig, model: "EnergyModel" = None):
+    """Energy summary dict for a :class:`ConcurrentResult`-like object
+    (anything with ``counters`` and ``seconds``)."""
+    model = model or EnergyModel()
+    dynamic = model.dynamic_energy(result.counters, config)
+    total = model.total_energy(result.counters, config, result.seconds)
+    return {
+        "dynamic_joules": dynamic,
+        "static_joules": total - dynamic,
+        "total_joules": total,
+        "average_watts": total / result.seconds if result.seconds else 0.0,
+        "teps_per_watt": model.teps_per_watt(
+            result.counters, config, result.seconds
+        ),
+    }

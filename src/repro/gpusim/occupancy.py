@@ -1,0 +1,142 @@
+"""CUDA occupancy calculation for the simulated device.
+
+Section 7 grounds the GPU/CPU comparison in hardware capacity: "GPUs
+not only provide a large quantity of small cores coupled with huge
+register files, e.g., 2,880 cores and 983,040 registers on NVIDIA
+Kepler K40 GPUs, but also support zero-overhead context switch".  The
+standard occupancy calculation determines how many CTAs of a kernel one
+SM can host — the minimum over the warp-slot, register, shared-memory,
+and CTA-slot constraints — and therefore how much latency-hiding
+parallelism a kernel configuration achieves.
+
+This module implements that calculation for :class:`DeviceConfig`
+presets plus Kepler's fixed per-SM limits, so kernel configurations
+(threads per CTA, registers per thread, shared-memory per CTA) can be
+evaluated and the engines' default configuration justified by test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.gpusim.config import DeviceConfig
+
+
+#: Kepler GK110 per-SM limits (CUDA compute capability 3.5).
+MAX_WARPS_PER_SM = 64
+MAX_CTAS_PER_SM = 16
+REGISTERS_PER_SM = 65536
+SHARED_MEMORY_PER_SM = 48 * 1024
+REGISTER_ALLOCATION_UNIT = 256
+MAX_REGISTERS_PER_THREAD = 255
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Resource footprint of one kernel launch configuration."""
+
+    threads_per_cta: int
+    registers_per_thread: int = 32
+    shared_memory_per_cta: int = 0
+
+    def __post_init__(self) -> None:
+        if self.threads_per_cta <= 0:
+            raise SimulationError("threads_per_cta must be positive")
+        if not 0 < self.registers_per_thread <= MAX_REGISTERS_PER_THREAD:
+            raise SimulationError(
+                f"registers_per_thread must be in (0, "
+                f"{MAX_REGISTERS_PER_THREAD}]"
+            )
+        if self.shared_memory_per_cta < 0:
+            raise SimulationError("shared_memory_per_cta must be >= 0")
+
+
+@dataclass(frozen=True)
+class OccupancyReport:
+    """Outcome of the occupancy calculation for one kernel config."""
+
+    ctas_per_sm: int
+    warps_per_sm: int
+    occupancy: float
+    limiting_factor: str
+    resident_threads: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.occupancy:.0%} occupancy ({self.warps_per_sm} warps/SM, "
+            f"limited by {self.limiting_factor})"
+        )
+
+
+def occupancy(config: DeviceConfig, kernel: KernelConfig) -> OccupancyReport:
+    """Occupancy of ``kernel`` on ``config`` (GPU presets only)."""
+    if not config.is_gpu:
+        raise SimulationError("occupancy is defined for GPU devices only")
+    warp_size = config.warp_size
+    warps_per_cta = -(-kernel.threads_per_cta // warp_size)
+    if warps_per_cta > MAX_WARPS_PER_SM:
+        raise SimulationError(
+            f"CTA of {kernel.threads_per_cta} threads exceeds the "
+            f"{MAX_WARPS_PER_SM}-warp SM capacity"
+        )
+
+    limits = {"cta slots": MAX_CTAS_PER_SM}
+    limits["warp slots"] = MAX_WARPS_PER_SM // warps_per_cta
+    # Registers are allocated per warp in fixed-size units.
+    regs_per_warp = _round_up(
+        kernel.registers_per_thread * warp_size, REGISTER_ALLOCATION_UNIT
+    )
+    regs_per_cta = regs_per_warp * warps_per_cta
+    limits["registers"] = REGISTERS_PER_SM // regs_per_cta if regs_per_cta else (
+        MAX_CTAS_PER_SM
+    )
+    if kernel.shared_memory_per_cta > 0:
+        limits["shared memory"] = (
+            SHARED_MEMORY_PER_SM // kernel.shared_memory_per_cta
+        )
+    else:
+        limits["shared memory"] = MAX_CTAS_PER_SM
+
+    limiting_factor = min(limits, key=lambda k: limits[k])
+    ctas = limits[limiting_factor]
+    if ctas == 0:
+        return OccupancyReport(0, 0, 0.0, limiting_factor, 0)
+    warps = min(ctas * warps_per_cta, MAX_WARPS_PER_SM)
+    return OccupancyReport(
+        ctas_per_sm=ctas,
+        warps_per_sm=warps,
+        occupancy=warps / MAX_WARPS_PER_SM,
+        limiting_factor=limiting_factor,
+        resident_threads=warps * warp_size * config.num_sms,
+    )
+
+
+def best_cta_size(
+    config: DeviceConfig,
+    registers_per_thread: int = 32,
+    shared_memory_per_cta: int = 0,
+    candidates=(64, 128, 192, 256, 384, 512, 768, 1024),
+) -> int:
+    """The candidate CTA size with the highest occupancy (ties -> larger).
+
+    The engines default to 256-thread CTAs ("typically 256 threads",
+    section 6); this helper shows that choice is occupancy-optimal for
+    the default register budget.
+    """
+    best = None
+    best_key = (-1.0, -1)
+    for size in candidates:
+        report = occupancy(
+            config,
+            KernelConfig(size, registers_per_thread, shared_memory_per_cta),
+        )
+        key = (report.occupancy, size)
+        if key > best_key:
+            best_key = key
+            best = size
+    return best
+
+
+def _round_up(value: int, unit: int) -> int:
+    return -(-value // unit) * unit

@@ -1,0 +1,95 @@
+"""Run-record export: per-level execution traces as plain data.
+
+The NVIDIA profiler that figures 18, 19, and 21 rely on exposes
+per-kernel counter timelines; :func:`record_to_rows` and
+:func:`record_to_json` provide the analogous export for simulated runs,
+so results can be inspected, diffed, or post-processed without touching
+engine internals.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.gpusim.counters import LevelRecord, RunRecord
+from repro.gpusim.timing import CostModel
+
+#: Column order of the per-level rows.
+TRACE_FIELDS = (
+    "depth",
+    "direction",
+    "frontier_size",
+    "threads",
+    "load_transactions",
+    "store_transactions",
+    "atomics",
+    "instructions",
+    "seconds",
+)
+
+
+def level_to_row(level: LevelRecord, cost: Optional[CostModel] = None) -> Dict:
+    """One level as a flat dict (``seconds`` requires a cost model)."""
+    return {
+        "depth": level.depth,
+        "direction": level.direction,
+        "frontier_size": level.frontier_size,
+        "threads": level.threads,
+        "load_transactions": level.load_transactions,
+        "store_transactions": level.store_transactions,
+        "atomics": level.atomics,
+        "instructions": level.instructions,
+        "seconds": cost.level_time(level) if cost else None,
+    }
+
+
+def record_to_rows(
+    record: RunRecord, cost: Optional[CostModel] = None
+) -> List[Dict]:
+    """All levels of a run as flat dicts, in execution order."""
+    return [level_to_row(level, cost) for level in record.levels]
+
+
+def record_to_json(
+    record: RunRecord, cost: Optional[CostModel] = None, indent: int = 2
+) -> str:
+    """Serialize a run record (levels + final counters) to JSON."""
+    payload = {
+        "levels": record_to_rows(record, cost),
+        "counters": {
+            "global_load_transactions": record.counters.global_load_transactions,
+            "global_store_transactions": record.counters.global_store_transactions,
+            "global_load_requests": record.counters.global_load_requests,
+            "global_store_requests": record.counters.global_store_requests,
+            "atomic_operations": record.counters.atomic_operations,
+            "inspections": record.counters.inspections,
+            "bottom_up_inspections": record.counters.bottom_up_inspections,
+            "edges_traversed": record.counters.edges_traversed,
+            "frontier_enqueues": record.counters.frontier_enqueues,
+            "early_terminations": record.counters.early_terminations,
+            "warp_votes": record.counters.warp_votes,
+            "levels": record.counters.levels,
+            "kernel_launches": record.counters.kernel_launches,
+        },
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def summarize_record(record: RunRecord, cost: CostModel) -> Dict[str, float]:
+    """Aggregate trace summary: totals plus per-direction splits."""
+    td_levels = [lv for lv in record.levels if lv.direction == "td"]
+    bu_levels = [lv for lv in record.levels if lv.direction == "bu"]
+    return {
+        "levels": len(record.levels),
+        "td_levels": len(td_levels),
+        "bu_levels": len(bu_levels),
+        "total_transactions": record.total_transactions,
+        "td_transactions": sum(lv.transaction_total for lv in td_levels),
+        "bu_transactions": sum(lv.transaction_total for lv in bu_levels),
+        "seconds": cost.kernel_time(record.levels),
+        "peak_frontier": max(
+            (lv.frontier_size for lv in record.levels), default=0
+        ),
+        "peak_threads": max((lv.threads for lv in record.levels), default=0),
+    }

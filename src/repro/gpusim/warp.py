@@ -1,0 +1,62 @@
+"""Warp-level primitive emulation.
+
+iBFS relies on two CUDA warp intrinsics: ``__any()`` (does any thread in
+the warp see a true predicate — used to decide whether a vertex enters
+the joint frontier queue) and ``__ballot()`` (a bitmask of which threads
+saw true — used to record which BFS instances share a frontier).  These
+helpers reproduce both over numpy predicate matrices so engines can both
+use and count them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+def warp_any(predicates: np.ndarray) -> np.ndarray:
+    """CUDA ``__any()`` across each row of a predicate matrix.
+
+    ``predicates[v, j]`` is thread ``j``'s predicate while the warp scans
+    vertex ``v``; the result is one boolean per vertex.
+    """
+    predicates = np.asarray(predicates, dtype=bool)
+    if predicates.ndim == 1:
+        return np.asarray([predicates.any()], dtype=bool)
+    return predicates.any(axis=1)
+
+
+def warp_ballot(predicates: np.ndarray) -> np.ndarray:
+    """CUDA ``__ballot()`` across each row: bit ``j`` of the result is
+    thread ``j``'s predicate.
+
+    Rows wider than 64 threads are not representable in one word and
+    raise :class:`~repro.errors.SimulationError`; callers split wider
+    groups into 64-bit lanes (as the bitwise status array does).
+    """
+    predicates = np.asarray(predicates, dtype=bool)
+    if predicates.ndim == 1:
+        predicates = predicates[np.newaxis, :]
+    width = predicates.shape[1]
+    if width > 64:
+        raise SimulationError(
+            f"ballot width {width} exceeds 64; split into lanes"
+        )
+    weights = (np.uint64(1) << np.arange(width, dtype=np.uint64))
+    return (predicates.astype(np.uint64) * weights).sum(axis=1, dtype=np.uint64)
+
+
+_POPCOUNT_TABLE = np.asarray(
+    [bin(i).count("1") for i in range(256)], dtype=np.uint8
+)
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Per-element population count of a uint64 array (CUDA ``__popc``).
+
+    Used to count how many instances share a frontier from its ballot.
+    """
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    as_bytes = words.view(np.uint8).reshape(words.shape + (8,))
+    return _POPCOUNT_TABLE[as_bytes].sum(axis=-1).astype(np.int64)

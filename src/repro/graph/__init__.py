@@ -1,0 +1,108 @@
+"""Graph substrate: CSR storage, builders, generators, I/O, and benchmarks.
+
+The iBFS paper stores every graph in Compressed Sparse Row (CSR) format
+with reversed edges kept alongside to support bottom-up traversal; this
+subpackage provides that storage plus the Graph500/R-MAT/uniform
+generators used to produce the paper's synthetic benchmarks and
+laptop-scale stand-ins for its real-world graphs.
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.builders import (
+    from_edges,
+    from_adjacency,
+    to_undirected,
+    add_reverse_edges,
+    relabel_random,
+    simplify,
+    subgraph,
+)
+from repro.graph.generators import (
+    kronecker,
+    rmat,
+    uniform_random,
+    erdos_renyi,
+    small_world,
+    scale_free,
+    star,
+    path,
+    complete,
+    grid_2d,
+)
+from repro.graph.io import (
+    read_edge_list,
+    write_edge_list,
+    read_dimacs,
+    write_dimacs,
+    read_weighted_dimacs,
+    write_weighted_dimacs,
+    save_csr,
+    load_csr,
+)
+from repro.graph.samplers import (
+    snowball_sample,
+    forest_fire_sample,
+    random_walk_sample,
+)
+from repro.graph.weighted import (
+    WeightedCSRGraph,
+    from_weighted_edges,
+    with_random_weights,
+    with_unit_weights,
+)
+from repro.graph.properties import (
+    degree_histogram,
+    degree_stats,
+    connected_components,
+    largest_component,
+    is_connected,
+    approximate_diameter,
+    gini_coefficient,
+)
+from repro.graph.benchmarks import BENCHMARK_NAMES, benchmark_graph, benchmark_suite
+
+__all__ = [
+    "CSRGraph",
+    "from_edges",
+    "from_adjacency",
+    "to_undirected",
+    "add_reverse_edges",
+    "relabel_random",
+    "simplify",
+    "subgraph",
+    "kronecker",
+    "rmat",
+    "uniform_random",
+    "erdos_renyi",
+    "small_world",
+    "scale_free",
+    "star",
+    "path",
+    "complete",
+    "grid_2d",
+    "snowball_sample",
+    "forest_fire_sample",
+    "random_walk_sample",
+    "WeightedCSRGraph",
+    "from_weighted_edges",
+    "with_random_weights",
+    "with_unit_weights",
+    "read_edge_list",
+    "write_edge_list",
+    "read_dimacs",
+    "write_dimacs",
+    "read_weighted_dimacs",
+    "write_weighted_dimacs",
+    "save_csr",
+    "load_csr",
+    "degree_histogram",
+    "degree_stats",
+    "connected_components",
+    "largest_component",
+    "is_connected",
+    "approximate_diameter",
+    "gini_coefficient",
+    "BENCHMARK_NAMES",
+    "benchmark_graph",
+    "benchmark_suite",
+]

@@ -1,0 +1,146 @@
+"""Laptop-scale stand-ins for the paper's 13 benchmark graphs.
+
+The paper evaluates on seven real social/web graphs (FB, TW, WK, LJ, OR,
+FR, PK), the Hollywood graph (HW), three Graph500 Kronecker graphs
+(KG0/KG1/KG2), an R-MAT graph (RM), and a uniform random graph (RD) —
+up to 17 M vertices and 1 B edges.  Real traces are not redistributable
+and GPU-scale sizes are out of reach here, so each name maps to a
+deterministic synthetic graph whose *relative* density and degree skew
+match the original (documented in DESIGN.md).  Power-law members use the
+Graph500 Kronecker generator; RD uses the uniform generator; RM uses the
+paper's R-MAT initiator.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    GRAPH500_ABC,
+    RMAT_ABC,
+    kronecker,
+    uniform_random,
+)
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Recipe for one named benchmark graph.
+
+    Attributes
+    ----------
+    name:
+        Two-letter paper name (FB, TW, ...).
+    kind:
+        ``"kronecker"``, ``"rmat"``, or ``"uniform"``.
+    scale:
+        log2 vertex count at ``scale_factor == 1``.
+    edge_factor:
+        Directed edges per vertex before symmetrization.
+    description:
+        What the original graph was.
+    """
+
+    name: str
+    kind: str
+    scale: int
+    edge_factor: int
+    description: str
+
+
+#: The 13 paper benchmarks.  Scales are chosen so relative sizes mirror
+#: Figure 14: KG2 is the largest, KG0 the densest, PK the smallest,
+#: RD uniform-degree.  Absolute sizes are laptop-scale.
+_SPECS: Dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in (
+        BenchmarkSpec("FB", "kronecker", 13, 12, "Facebook friendship graph"),
+        BenchmarkSpec("FR", "kronecker", 13, 13, "Friendster social graph"),
+        BenchmarkSpec("HW", "kronecker", 11, 28, "Hollywood actor graph"),
+        BenchmarkSpec("KG0", "kronecker", 10, 64, "Graph500, high outdegree"),
+        BenchmarkSpec("KG1", "kronecker", 12, 36, "Graph500, mid size"),
+        BenchmarkSpec("KG2", "kronecker", 13, 32, "Graph500, largest"),
+        BenchmarkSpec("LJ", "kronecker", 12, 14, "LiveJournal social graph"),
+        BenchmarkSpec("OR", "kronecker", 11, 38, "Orkut social graph"),
+        BenchmarkSpec("PK", "kronecker", 10, 9, "Pokec social graph"),
+        BenchmarkSpec("RD", "uniform", 13, 8, "uniform-outdegree random graph"),
+        BenchmarkSpec("RM", "rmat", 11, 32, "R-MAT (0.45, 0.15, 0.15)"),
+        BenchmarkSpec("TW", "kronecker", 13, 6, "Twitter follower graph"),
+        BenchmarkSpec("WK", "kronecker", 12, 6, "Wikipedia hyperlink graph"),
+    )
+}
+
+#: Benchmark names in the order the paper's figures list them.
+BENCHMARK_NAMES: Tuple[str, ...] = tuple(sorted(_SPECS))
+
+_CACHE: Dict[Tuple[str, int, int], CSRGraph] = {}
+
+
+def benchmark_spec(name: str) -> BenchmarkSpec:
+    """Look up the :class:`BenchmarkSpec` for a paper graph name."""
+    try:
+        return _SPECS[name.upper()]
+    except KeyError:
+        raise GraphError(
+            f"unknown benchmark {name!r}; expected one of {BENCHMARK_NAMES}"
+        ) from None
+
+
+def benchmark_graph(name: str, scale_delta: int = 0, seed: int = 7) -> CSRGraph:
+    """Build (and cache) the named benchmark graph.
+
+    Parameters
+    ----------
+    name:
+        Paper graph name, case-insensitive (``"FB"``, ``"kg0"``, ...).
+    scale_delta:
+        Added to the spec's log2 vertex count; use negative values for
+        faster tests and positive ones for bigger benchmark runs.
+    seed:
+        Generator seed (per-name offsets keep the graphs distinct).
+    """
+    spec = benchmark_spec(name)
+    key = (spec.name, scale_delta, seed)
+    if key not in _CACHE:
+        _CACHE[key] = _build(spec, scale_delta, seed)
+    return _CACHE[key]
+
+
+def _build(spec: BenchmarkSpec, scale_delta: int, seed: int) -> CSRGraph:
+    scale = spec.scale + scale_delta
+    if scale < 4:
+        raise GraphError(
+            f"scale_delta={scale_delta} makes {spec.name} too small (scale {scale})"
+        )
+    # zlib.crc32 is process-stable; built-in str hashing is randomized
+    # per interpreter run and would make the suite non-deterministic.
+    name_code = zlib.crc32(spec.name.encode("ascii")) % 997
+    graph_seed = seed * 1009 + name_code
+    if spec.kind == "kronecker":
+        return kronecker(
+            scale, edge_factor=spec.edge_factor, abc=GRAPH500_ABC, seed=graph_seed
+        )
+    if spec.kind == "rmat":
+        return kronecker(
+            scale, edge_factor=spec.edge_factor, abc=RMAT_ABC, seed=graph_seed
+        )
+    if spec.kind == "uniform":
+        return uniform_random(1 << scale, spec.edge_factor, seed=graph_seed)
+    raise GraphError(f"unknown generator kind {spec.kind!r}")  # pragma: no cover
+
+
+def benchmark_suite(
+    scale_delta: int = 0, seed: int = 7
+) -> Iterator[Tuple[str, CSRGraph]]:
+    """Yield ``(name, graph)`` for every benchmark, in name order."""
+    for name in BENCHMARK_NAMES:
+        yield name, benchmark_graph(name, scale_delta=scale_delta, seed=seed)
+
+
+def clear_cache() -> None:
+    """Drop all cached benchmark graphs (mainly for tests)."""
+    _CACHE.clear()

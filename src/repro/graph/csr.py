@@ -1,0 +1,239 @@
+"""Compressed Sparse Row graph storage.
+
+The paper (section 8.1) stores every benchmark in CSR format, keeps the
+edge sequence of the input, treats each undirected edge as two directed
+edges, and additionally stores the *reversed* edges of directed graphs so
+that bottom-up traversal can look up in-neighbors.  :class:`CSRGraph`
+mirrors that layout: a forward CSR (``row_offsets`` / ``col_indices``)
+and a lazily built reverse CSR over the same vertex set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+
+#: dtype used for vertex ids and offsets; int64 matches the paper's uint64
+#: runs while staying signed for safe arithmetic in numpy.
+VERTEX_DTYPE = np.int64
+
+
+class CSRGraph:
+    """A directed graph in Compressed Sparse Row form.
+
+    Parameters
+    ----------
+    row_offsets:
+        Array of ``num_vertices + 1`` monotonically non-decreasing offsets
+        into ``col_indices``; vertex ``v``'s out-neighbors are
+        ``col_indices[row_offsets[v]:row_offsets[v + 1]]``.
+    col_indices:
+        Flat array of destination vertex ids, one per directed edge.
+    validate:
+        When true (the default) the constructor checks structural
+        invariants and raises :class:`~repro.errors.GraphError` on
+        violation.  Pass ``False`` only for arrays produced by trusted
+        builders.
+    """
+
+    __slots__ = ("row_offsets", "col_indices", "_reverse", "_out_degrees")
+
+    def __init__(
+        self,
+        row_offsets: np.ndarray,
+        col_indices: np.ndarray,
+        validate: bool = True,
+    ) -> None:
+        self.row_offsets = np.ascontiguousarray(row_offsets, dtype=VERTEX_DTYPE)
+        self.col_indices = np.ascontiguousarray(col_indices, dtype=VERTEX_DTYPE)
+        self._reverse: Optional["CSRGraph"] = None
+        self._out_degrees: Optional[np.ndarray] = None
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        if self.row_offsets.ndim != 1 or self.col_indices.ndim != 1:
+            raise GraphError("row_offsets and col_indices must be 1-D arrays")
+        if self.row_offsets.size == 0:
+            raise GraphError("row_offsets must contain at least one entry")
+        if self.row_offsets[0] != 0:
+            raise GraphError("row_offsets must start at 0")
+        if self.row_offsets[-1] != self.col_indices.size:
+            raise GraphError(
+                "row_offsets must end at len(col_indices): "
+                f"{self.row_offsets[-1]} != {self.col_indices.size}"
+            )
+        if np.any(np.diff(self.row_offsets) < 0):
+            raise GraphError("row_offsets must be non-decreasing")
+        if self.col_indices.size:
+            lo = int(self.col_indices.min())
+            hi = int(self.col_indices.max())
+            if lo < 0 or hi >= self.num_vertices:
+                raise GraphError(
+                    f"edge endpoint out of range [0, {self.num_vertices}): "
+                    f"saw min={lo}, max={hi}"
+                )
+
+    # ------------------------------------------------------------------
+    # Basic shape
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices |V|."""
+        return int(self.row_offsets.size - 1)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges |E| (multi-edges and self-loops count)."""
+        return int(self.col_indices.size)
+
+    @property
+    def average_degree(self) -> float:
+        """Mean outdegree |E| / |V| (0.0 for the empty graph)."""
+        if self.num_vertices == 0:
+            return 0.0
+        return self.num_edges / self.num_vertices
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRGraph(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.row_offsets, other.row_offsets)
+            and np.array_equal(self.col_indices, other.col_indices)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing only
+        return id(self)
+
+    # ------------------------------------------------------------------
+    # Neighborhood access
+    # ------------------------------------------------------------------
+    def out_degree(self, v: int) -> int:
+        """Outdegree of vertex ``v``."""
+        self._check_vertex(v)
+        return int(self.row_offsets[v + 1] - self.row_offsets[v])
+
+    def out_degrees(self) -> np.ndarray:
+        """Vector of outdegrees for every vertex (cached)."""
+        if self._out_degrees is None:
+            self._out_degrees = np.diff(self.row_offsets)
+        return self._out_degrees
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Out-neighbors of ``v`` in input edge order (read-only view)."""
+        self._check_vertex(v)
+        return self.col_indices[self.row_offsets[v] : self.row_offsets[v + 1]]
+
+    def in_degree(self, v: int) -> int:
+        """Indegree of vertex ``v`` (builds the reverse CSR on first use)."""
+        return self.reverse().out_degree(v)
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """In-neighbors of ``v`` (builds the reverse CSR on first use)."""
+        return self.reverse().neighbors(v)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over directed edges as ``(src, dst)`` pairs."""
+        for v in range(self.num_vertices):
+            start = int(self.row_offsets[v])
+            stop = int(self.row_offsets[v + 1])
+            for idx in range(start, stop):
+                yield v, int(self.col_indices[idx])
+
+    def edge_array(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(sources, destinations)`` arrays of all directed edges."""
+        sources = np.repeat(
+            np.arange(self.num_vertices, dtype=VERTEX_DTYPE), self.out_degrees()
+        )
+        return sources, self.col_indices.copy()
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self.num_vertices:
+            raise GraphError(
+                f"vertex {v} out of range [0, {self.num_vertices})"
+            )
+
+    # ------------------------------------------------------------------
+    # Reverse graph (for bottom-up traversal)
+    # ------------------------------------------------------------------
+    def reverse(self) -> "CSRGraph":
+        """The transpose graph, built once and cached.
+
+        The paper stores reversed edges alongside the forward CSR so that
+        bottom-up traversal can scan in-neighbors; we materialize the same
+        structure lazily.
+        """
+        if self._reverse is None:
+            self._reverse = self._build_reverse()
+            # The reverse of the reverse is this graph; share it to avoid
+            # rebuilding when engines ping-pong between directions.
+            self._reverse._reverse = self
+        return self._reverse
+
+    def _build_reverse(self) -> "CSRGraph":
+        n = self.num_vertices
+        in_degrees = np.bincount(self.col_indices, minlength=n).astype(VERTEX_DTYPE)
+        rev_offsets = np.zeros(n + 1, dtype=VERTEX_DTYPE)
+        np.cumsum(in_degrees, out=rev_offsets[1:])
+        sources, dests = self.edge_array()
+        order = np.argsort(dests, kind="stable")
+        rev_indices = sources[order]
+        return CSRGraph(rev_offsets, rev_indices, validate=False)
+
+    # ------------------------------------------------------------------
+    # Convenience predicates
+    # ------------------------------------------------------------------
+    def has_edge(self, src: int, dst: int) -> bool:
+        """True when at least one directed edge ``src -> dst`` exists."""
+        self._check_vertex(dst)
+        return bool(np.any(self.neighbors(src) == dst))
+
+    def is_symmetric(self) -> bool:
+        """True when every edge has a matching reverse edge (with equal
+        multiplicity), i.e. the graph is effectively undirected."""
+        fwd_src, fwd_dst = self.edge_array()
+        rev = self.reverse()
+        rev_src, rev_dst = rev.edge_array()
+        fwd = np.lexsort((fwd_dst, fwd_src))
+        bwd = np.lexsort((rev_dst, rev_src))
+        return bool(
+            np.array_equal(fwd_src[fwd], rev_src[bwd])
+            and np.array_equal(fwd_dst[fwd], rev_dst[bwd])
+        )
+
+    def memory_bytes(self, vertex_bytes: int = 8) -> int:
+        """Approximate CSR storage footprint in bytes.
+
+        Used by the group-size capacity rule ``N <= (M - S - |JFQ|)/|SA|``
+        from section 3 of the paper.
+        """
+        return vertex_bytes * (self.row_offsets.size + self.col_indices.size)
+
+    def copy(self) -> "CSRGraph":
+        """Deep copy (does not copy the cached reverse graph)."""
+        return CSRGraph(
+            self.row_offsets.copy(), self.col_indices.copy(), validate=False
+        )
+
+
+def empty_graph(num_vertices: int = 0) -> CSRGraph:
+    """A graph with ``num_vertices`` vertices and no edges."""
+    if num_vertices < 0:
+        raise GraphError("num_vertices must be non-negative")
+    return CSRGraph(
+        np.zeros(num_vertices + 1, dtype=VERTEX_DTYPE),
+        np.empty(0, dtype=VERTEX_DTYPE),
+        validate=False,
+    )

@@ -1,0 +1,293 @@
+"""Synthetic graph generators used by the paper's evaluation.
+
+The paper builds its synthetic benchmarks with the Graph500 Kronecker
+generator (KG0/KG1/KG2, ``(A, B, C) = (0.57, 0.19, 0.19)``), an R-MAT
+variant with ``(0.45, 0.15, 0.15)`` (RM), and a uniform-outdegree random
+generator (RD).  All generators here are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.builders import from_edge_arrays
+from repro.graph.csr import CSRGraph, VERTEX_DTYPE
+
+#: Graph500 default Kronecker initiator probabilities.
+GRAPH500_ABC = (0.57, 0.19, 0.19)
+
+#: DIMACS R-MAT initiator used for the paper's RM graph.
+RMAT_ABC = (0.45, 0.15, 0.15)
+
+
+def _kronecker_edges(
+    scale: int,
+    num_edges: int,
+    a: float,
+    b: float,
+    c: float,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample ``num_edges`` edges of a 2^scale-vertex Kronecker graph.
+
+    This is the Graph500 reference sampling loop: each of the ``scale``
+    bits of (src, dst) is drawn independently from the 2x2 initiator
+    matrix [[a, b], [c, d]] with d = 1 - a - b - c.
+    """
+    d = 1.0 - a - b - c
+    if d < -1e-9 or min(a, b, c) < 0:
+        raise GraphError(f"invalid initiator probabilities: {(a, b, c)}")
+    src = np.zeros(num_edges, dtype=VERTEX_DTYPE)
+    dst = np.zeros(num_edges, dtype=VERTEX_DTYPE)
+    ab = a + b
+    c_norm = c / max(c + d, 1e-300)
+    for _ in range(scale):
+        src <<= 1
+        dst <<= 1
+        ii_bit = rng.random(num_edges) > ab
+        jj_bit = rng.random(num_edges) > np.where(ii_bit, c_norm, a / max(ab, 1e-300))
+        src |= ii_bit.astype(VERTEX_DTYPE)
+        dst |= jj_bit.astype(VERTEX_DTYPE)
+    return src, dst
+
+
+def kronecker(
+    scale: int,
+    edge_factor: int = 16,
+    abc: Tuple[float, float, float] = GRAPH500_ABC,
+    seed: int = 0,
+    undirected: bool = True,
+    permute: bool = True,
+) -> CSRGraph:
+    """Graph500-style Kronecker graph with ``2**scale`` vertices.
+
+    Parameters
+    ----------
+    scale:
+        log2 of the vertex count.
+    edge_factor:
+        Directed edges sampled per vertex (Graph500 default 16).
+    abc:
+        Initiator probabilities ``(A, B, C)``; ``D = 1 - A - B - C``.
+    seed:
+        RNG seed; the generator is fully deterministic given a seed.
+    undirected:
+        When true (Graph500 semantics) each sampled edge also contributes
+        its reverse.
+    permute:
+        Randomly permute vertex ids, as Graph500 requires, so vertex id
+        does not correlate with degree.
+    """
+    if scale < 0:
+        raise GraphError("scale must be non-negative")
+    n = 1 << scale
+    m = n * edge_factor
+    rng = np.random.default_rng(seed)
+    src, dst = _kronecker_edges(scale, m, *abc, rng)
+    if permute:
+        perm = rng.permutation(n).astype(VERTEX_DTYPE)
+        src, dst = perm[src], perm[dst]
+    return from_edge_arrays(src, dst, num_vertices=n, undirected=undirected)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    abc: Tuple[float, float, float] = RMAT_ABC,
+    seed: int = 0,
+    undirected: bool = True,
+) -> CSRGraph:
+    """R-MAT graph with the paper's RM initiator ``(0.45, 0.15, 0.15)``."""
+    return kronecker(
+        scale, edge_factor=edge_factor, abc=abc, seed=seed, undirected=undirected
+    )
+
+
+def uniform_random(
+    num_vertices: int,
+    out_degree: int,
+    seed: int = 0,
+    undirected: bool = True,
+) -> CSRGraph:
+    """Uniform-outdegree random graph (the paper's RD benchmark).
+
+    Every vertex gets exactly ``out_degree`` out-edges with uniformly
+    random destinations, so the outdegree distribution is flat — the
+    regime where the paper reports GroupBy gains are smallest.
+    """
+    if num_vertices <= 0:
+        raise GraphError("num_vertices must be positive")
+    if out_degree < 0:
+        raise GraphError("out_degree must be non-negative")
+    rng = np.random.default_rng(seed)
+    src = np.repeat(
+        np.arange(num_vertices, dtype=VERTEX_DTYPE), out_degree
+    )
+    dst = rng.integers(0, num_vertices, size=src.size, dtype=VERTEX_DTYPE)
+    return from_edge_arrays(
+        src, dst, num_vertices=num_vertices, undirected=undirected
+    )
+
+
+def erdos_renyi(
+    num_vertices: int,
+    edge_probability: float,
+    seed: int = 0,
+    undirected: bool = True,
+) -> CSRGraph:
+    """G(n, p) random graph (binomially distributed degrees)."""
+    if not 0.0 <= edge_probability <= 1.0:
+        raise GraphError("edge_probability must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    expected = num_vertices * (num_vertices - 1) * edge_probability
+    if expected > 5e7:
+        raise GraphError("erdos_renyi parameters would materialize too many edges")
+    num_draws = rng.binomial(num_vertices * (num_vertices - 1), edge_probability)
+    src = rng.integers(0, num_vertices, size=num_draws, dtype=VERTEX_DTYPE)
+    dst = rng.integers(0, num_vertices, size=num_draws, dtype=VERTEX_DTYPE)
+    keep = src != dst
+    return from_edge_arrays(
+        src[keep], dst[keep], num_vertices=num_vertices, undirected=undirected
+    )
+
+
+def small_world(
+    num_vertices: int,
+    k: int = 4,
+    rewire_probability: float = 0.1,
+    seed: int = 0,
+) -> CSRGraph:
+    """Watts–Strogatz small-world graph (ring lattice with rewiring)."""
+    if k % 2 or k <= 0:
+        raise GraphError("k must be a positive even number")
+    if num_vertices <= k:
+        raise GraphError("num_vertices must exceed k")
+    rng = np.random.default_rng(seed)
+    base = np.arange(num_vertices, dtype=VERTEX_DTYPE)
+    src_parts = []
+    dst_parts = []
+    for hop in range(1, k // 2 + 1):
+        dst = (base + hop) % num_vertices
+        rewire = rng.random(num_vertices) < rewire_probability
+        dst = np.where(
+            rewire,
+            rng.integers(0, num_vertices, size=num_vertices, dtype=VERTEX_DTYPE),
+            dst,
+        )
+        keep = dst != base
+        src_parts.append(base[keep])
+        dst_parts.append(dst[keep])
+    return from_edge_arrays(
+        np.concatenate(src_parts),
+        np.concatenate(dst_parts),
+        num_vertices=num_vertices,
+        undirected=True,
+    )
+
+
+def scale_free(
+    num_vertices: int,
+    attach: int = 4,
+    seed: int = 0,
+) -> CSRGraph:
+    """Barabási–Albert preferential-attachment graph.
+
+    Produces the hub-dominated degree structure that GroupBy Rule 2
+    exploits (many low-degree sources sharing a high-outdegree vertex).
+    """
+    if attach <= 0:
+        raise GraphError("attach must be positive")
+    if num_vertices <= attach:
+        raise GraphError("num_vertices must exceed attach")
+    rng = np.random.default_rng(seed)
+    # Repeated-endpoint list implements preferential attachment in O(m).
+    targets = list(range(attach))
+    endpoint_pool = list(range(attach))
+    src = []
+    dst = []
+    for v in range(attach, num_vertices):
+        chosen = rng.choice(endpoint_pool, size=attach, replace=False)
+        for t in chosen:
+            src.append(v)
+            dst.append(int(t))
+        endpoint_pool.extend(int(t) for t in chosen)
+        endpoint_pool.extend([v] * attach)
+    return from_edge_arrays(
+        np.asarray(src, dtype=VERTEX_DTYPE),
+        np.asarray(dst, dtype=VERTEX_DTYPE),
+        num_vertices=num_vertices,
+        undirected=True,
+    )
+
+
+def star(num_leaves: int, center: int = 0) -> CSRGraph:
+    """Star graph: ``num_leaves`` vertices all attached to one hub."""
+    if num_leaves < 0:
+        raise GraphError("num_leaves must be non-negative")
+    n = num_leaves + 1
+    leaves = np.asarray(
+        [v for v in range(n) if v != center], dtype=VERTEX_DTYPE
+    )
+    centers = np.full(num_leaves, center, dtype=VERTEX_DTYPE)
+    return from_edge_arrays(centers, leaves, num_vertices=n, undirected=True)
+
+
+def path(num_vertices: int) -> CSRGraph:
+    """Path graph 0 - 1 - ... - (n-1); worst case for level count."""
+    if num_vertices <= 0:
+        raise GraphError("num_vertices must be positive")
+    src = np.arange(num_vertices - 1, dtype=VERTEX_DTYPE)
+    return from_edge_arrays(
+        src, src + 1, num_vertices=num_vertices, undirected=True
+    )
+
+
+def grid_2d(rows: int, cols: int) -> CSRGraph:
+    """2-D grid (4-neighborhood), the road-network-like regime.
+
+    Section 9 contrasts iBFS's small-world target graphs with the road
+    networks PHAST [61] handles: grids have large diameter and flat
+    degrees, so direction optimization and frontier sharing behave very
+    differently here — useful for boundary tests.
+    """
+    if rows <= 0 or cols <= 0:
+        raise GraphError("rows and cols must be positive")
+    idx = np.arange(rows * cols, dtype=VERTEX_DTYPE).reshape(rows, cols)
+    src_parts = []
+    dst_parts = []
+    if cols > 1:
+        src_parts.append(idx[:, :-1].ravel())
+        dst_parts.append(idx[:, 1:].ravel())
+    if rows > 1:
+        src_parts.append(idx[:-1, :].ravel())
+        dst_parts.append(idx[1:, :].ravel())
+    if not src_parts:
+        return from_edge_arrays(
+            np.empty(0, dtype=VERTEX_DTYPE),
+            np.empty(0, dtype=VERTEX_DTYPE),
+            num_vertices=rows * cols,
+        )
+    return from_edge_arrays(
+        np.concatenate(src_parts),
+        np.concatenate(dst_parts),
+        num_vertices=rows * cols,
+        undirected=True,
+    )
+
+
+def complete(num_vertices: int) -> CSRGraph:
+    """Complete graph K_n (every depth is 0 or 1)."""
+    if num_vertices <= 0:
+        raise GraphError("num_vertices must be positive")
+    src, dst = np.meshgrid(
+        np.arange(num_vertices, dtype=VERTEX_DTYPE),
+        np.arange(num_vertices, dtype=VERTEX_DTYPE),
+        indexing="ij",
+    )
+    mask = src != dst
+    return from_edge_arrays(
+        src[mask].ravel(), dst[mask].ravel(), num_vertices=num_vertices
+    )

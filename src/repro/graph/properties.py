@@ -1,0 +1,146 @@
+"""Structural graph statistics used by GroupBy analysis and the test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph, VERTEX_DTYPE
+
+
+def degree_histogram(graph: CSRGraph) -> np.ndarray:
+    """``hist[d]`` = number of vertices with outdegree ``d``."""
+    degrees = graph.out_degrees()
+    if degrees.size == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(degrees)
+
+
+def degree_stats(graph: CSRGraph) -> Dict[str, float]:
+    """Summary outdegree statistics (mean/max/median/stddev/skewness)."""
+    degrees = graph.out_degrees().astype(np.float64)
+    if degrees.size == 0:
+        return {"mean": 0.0, "max": 0.0, "median": 0.0, "std": 0.0, "skew": 0.0}
+    mean = float(degrees.mean())
+    std = float(degrees.std())
+    if std > 0:
+        skew = float(((degrees - mean) ** 3).mean() / std**3)
+    else:
+        skew = 0.0
+    return {
+        "mean": mean,
+        "max": float(degrees.max()),
+        "median": float(np.median(degrees)),
+        "std": std,
+        "skew": skew,
+    }
+
+
+def gini_coefficient(graph: CSRGraph) -> float:
+    """Gini coefficient of the outdegree distribution.
+
+    Near 0 for uniform-degree graphs (RD) and large for power-law graphs;
+    the benchmark suite uses it to verify each synthetic stand-in has the
+    intended skew.
+    """
+    degrees = np.sort(graph.out_degrees().astype(np.float64))
+    n = degrees.size
+    total = degrees.sum()
+    if n == 0 or total == 0:
+        return 0.0
+    index = np.arange(1, n + 1, dtype=np.float64)
+    return float((2.0 * (index * degrees).sum()) / (n * total) - (n + 1.0) / n)
+
+
+def connected_components(graph: CSRGraph) -> np.ndarray:
+    """Weakly connected component label for every vertex.
+
+    Implemented as repeated frontier expansion over the symmetrized
+    adjacency; labels are the smallest vertex id in each component.
+    """
+    n = graph.num_vertices
+    labels = -np.ones(n, dtype=VERTEX_DTYPE)
+    rev = graph.reverse()
+    for start in range(n):
+        if labels[start] >= 0:
+            continue
+        labels[start] = start
+        frontier = np.asarray([start], dtype=VERTEX_DTYPE)
+        while frontier.size:
+            neighbors = _all_neighbors(graph, rev, frontier)
+            fresh = neighbors[labels[neighbors] < 0]
+            fresh = np.unique(fresh)
+            labels[fresh] = start
+            frontier = fresh
+    return labels
+
+
+def _all_neighbors(
+    graph: CSRGraph, rev: CSRGraph, frontier: np.ndarray
+) -> np.ndarray:
+    """Concatenated out- and in-neighbors of every frontier vertex."""
+    parts = []
+    for g in (graph, rev):
+        starts = g.row_offsets[frontier]
+        stops = g.row_offsets[frontier + 1]
+        widths = stops - starts
+        if widths.sum():
+            idx = _expand_ranges(starts, widths)
+            parts.append(g.col_indices[idx])
+    if not parts:
+        return np.empty(0, dtype=VERTEX_DTYPE)
+    return np.concatenate(parts)
+
+
+def _expand_ranges(starts: np.ndarray, widths: np.ndarray) -> np.ndarray:
+    """Vectorized concatenation of ``range(starts[i], starts[i]+widths[i])``."""
+    total = int(widths.sum())
+    if total == 0:
+        return np.empty(0, dtype=VERTEX_DTYPE)
+    offsets = np.repeat(starts - _exclusive_cumsum(widths), widths)
+    return offsets + np.arange(total, dtype=VERTEX_DTYPE)
+
+
+def _exclusive_cumsum(values: np.ndarray) -> np.ndarray:
+    out = np.zeros_like(values)
+    np.cumsum(values[:-1], out=out[1:])
+    return out
+
+
+def largest_component(graph: CSRGraph) -> np.ndarray:
+    """Vertex ids of the largest weakly connected component."""
+    labels = connected_components(graph)
+    if labels.size == 0:
+        return np.empty(0, dtype=VERTEX_DTYPE)
+    unique, counts = np.unique(labels, return_counts=True)
+    biggest = unique[np.argmax(counts)]
+    return np.flatnonzero(labels == biggest).astype(VERTEX_DTYPE)
+
+
+def is_connected(graph: CSRGraph) -> bool:
+    """True when the graph is weakly connected (or empty)."""
+    if graph.num_vertices == 0:
+        return True
+    return bool(np.unique(connected_components(graph)).size == 1)
+
+
+def approximate_diameter(graph: CSRGraph, num_probes: int = 4, seed: int = 0) -> int:
+    """Lower bound on the diameter via double-sweep BFS probes."""
+    from repro.bfs.reference import reference_bfs
+
+    n = graph.num_vertices
+    if n == 0:
+        return 0
+    rng = np.random.default_rng(seed)
+    best = 0
+    for _ in range(num_probes):
+        start = int(rng.integers(0, n))
+        depths = reference_bfs(graph, start)
+        reached = depths >= 0
+        if not reached.any():
+            continue
+        far = int(np.argmax(np.where(reached, depths, -1)))
+        depths2 = reference_bfs(graph, far)
+        best = max(best, int(depths2.max()))
+    return best

@@ -1,0 +1,208 @@
+"""Graph sampling built on traversal.
+
+The paper motivates BFS with web crawling ("breadth-first crawling
+yields high-quality pages") and cites incremental graph-sampling work;
+these samplers are the standard traversal-based ways to extract a
+representative subgraph:
+
+* :func:`snowball_sample` — BFS crawl to a vertex budget (what a
+  breadth-first web crawler collects);
+* :func:`forest_fire_sample` — recursive probabilistic burning
+  (Leskovec et al.), preserving community structure;
+* :func:`random_walk_sample` — classic random-walk vertex collection
+  with restarts.
+
+All samplers return induced subgraphs via
+:func:`repro.graph.builders.subgraph` and are deterministic given a
+seed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.builders import subgraph
+from repro.graph.csr import CSRGraph
+
+
+def snowball_sample(
+    graph: CSRGraph,
+    budget: int,
+    seed_vertex: Optional[int] = None,
+    rng_seed: int = 0,
+) -> CSRGraph:
+    """Breadth-first crawl until ``budget`` vertices are collected.
+
+    When the component of the seed is exhausted before the budget, the
+    crawl restarts from a fresh unvisited vertex (as a crawler with a
+    URL frontier would).
+    """
+    _check_budget(graph, budget)
+    rng = np.random.default_rng(rng_seed)
+    visited = np.zeros(graph.num_vertices, dtype=bool)
+    order: List[int] = []
+    queue: deque = deque()
+
+    def enqueue(v: int) -> None:
+        visited[v] = True
+        order.append(v)
+        queue.append(v)
+
+    start = (
+        int(seed_vertex)
+        if seed_vertex is not None
+        else int(rng.integers(graph.num_vertices))
+    )
+    _check_vertex(graph, start)
+    enqueue(start)
+    while len(order) < budget:
+        if not queue:
+            remaining = np.flatnonzero(~visited)
+            if remaining.size == 0:
+                break
+            enqueue(int(rng.choice(remaining)))
+            continue
+        v = queue.popleft()
+        for w in graph.neighbors(v):
+            if len(order) >= budget:
+                break
+            if not visited[w]:
+                enqueue(int(w))
+    return subgraph(graph, order)
+
+
+def forest_fire_sample(
+    graph: CSRGraph,
+    budget: int,
+    forward_probability: float = 0.7,
+    seed_vertex: Optional[int] = None,
+    rng_seed: int = 0,
+) -> CSRGraph:
+    """Forest-fire sampling: burn a geometric number of neighbors.
+
+    From each burning vertex, ``Geometric(1 - p)`` unvisited neighbors
+    catch fire (p = ``forward_probability``); dead fires restart at a
+    random unvisited vertex until the budget is met.
+    """
+    _check_budget(graph, budget)
+    if not 0.0 <= forward_probability < 1.0:
+        raise GraphError("forward_probability must lie in [0, 1)")
+    rng = np.random.default_rng(rng_seed)
+    visited = np.zeros(graph.num_vertices, dtype=bool)
+    order: List[int] = []
+    frontier: deque = deque()
+
+    def ignite(v: int) -> None:
+        visited[v] = True
+        order.append(v)
+        frontier.append(v)
+
+    start = (
+        int(seed_vertex)
+        if seed_vertex is not None
+        else int(rng.integers(graph.num_vertices))
+    )
+    _check_vertex(graph, start)
+    ignite(start)
+    while len(order) < budget:
+        if not frontier:
+            remaining = np.flatnonzero(~visited)
+            if remaining.size == 0:
+                break
+            ignite(int(rng.choice(remaining)))
+            continue
+        v = frontier.popleft()
+        # dict.fromkeys deduplicates parallel edges, keeping first-seen
+        # order deterministic before the shuffle.
+        fresh = [
+            w
+            for w in dict.fromkeys(int(w) for w in graph.neighbors(v))
+            if not visited[w]
+        ]
+        if not fresh:
+            continue
+        burn = min(
+            len(fresh), int(rng.geometric(1.0 - forward_probability))
+        )
+        rng.shuffle(fresh)
+        for w in fresh[:burn]:
+            if len(order) >= budget:
+                break
+            ignite(w)
+    return subgraph(graph, order)
+
+
+def random_walk_sample(
+    graph: CSRGraph,
+    budget: int,
+    restart_probability: float = 0.15,
+    seed_vertex: Optional[int] = None,
+    rng_seed: int = 0,
+    max_steps: Optional[int] = None,
+) -> CSRGraph:
+    """Random-walk vertex collection with restarts.
+
+    The walk jumps back to its start with ``restart_probability`` each
+    step (and always on dead ends); after ``max_steps`` without filling
+    the budget it teleports to an unvisited vertex, guaranteeing
+    termination on disconnected graphs.
+    """
+    _check_budget(graph, budget)
+    if not 0.0 <= restart_probability <= 1.0:
+        raise GraphError("restart_probability must lie in [0, 1]")
+    rng = np.random.default_rng(rng_seed)
+    if max_steps is None:
+        max_steps = 50 * budget
+    visited = np.zeros(graph.num_vertices, dtype=bool)
+    order: List[int] = []
+
+    def collect(v: int) -> None:
+        if not visited[v]:
+            visited[v] = True
+            order.append(v)
+
+    start = (
+        int(seed_vertex)
+        if seed_vertex is not None
+        else int(rng.integers(graph.num_vertices))
+    )
+    _check_vertex(graph, start)
+    collect(start)
+    current = start
+    steps_since_progress = 0
+    while len(order) < budget:
+        neighbors = graph.neighbors(current)
+        if neighbors.size == 0 or rng.random() < restart_probability:
+            current = start
+        else:
+            current = int(neighbors[rng.integers(neighbors.size)])
+        before = len(order)
+        collect(current)
+        steps_since_progress = (
+            0 if len(order) > before else steps_since_progress + 1
+        )
+        if steps_since_progress >= max_steps:
+            remaining = np.flatnonzero(~visited)
+            if remaining.size == 0:
+                break
+            start = int(rng.choice(remaining))
+            collect(start)
+            current = start
+            steps_since_progress = 0
+    return subgraph(graph, order)
+
+
+def _check_budget(graph: CSRGraph, budget: int) -> None:
+    if budget <= 0:
+        raise GraphError("budget must be positive")
+    if graph.num_vertices == 0:
+        raise GraphError("cannot sample an empty graph")
+
+
+def _check_vertex(graph: CSRGraph, v: int) -> None:
+    if not 0 <= v < graph.num_vertices:
+        raise GraphError(f"vertex {v} out of range [0, {graph.num_vertices})")

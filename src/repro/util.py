@@ -1,0 +1,46 @@
+"""Small vectorized helpers shared across engines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph, VERTEX_DTYPE
+
+
+def exclusive_cumsum(values: np.ndarray) -> np.ndarray:
+    """``out[i] = sum(values[:i])`` with ``out[0] == 0``."""
+    out = np.zeros_like(values)
+    if values.size > 1:
+        np.cumsum(values[:-1], out=out[1:])
+    return out
+
+
+def expand_ranges(starts: np.ndarray, widths: np.ndarray) -> np.ndarray:
+    """Concatenate ``range(starts[i], starts[i] + widths[i])`` for all i.
+
+    The workhorse of vectorized frontier expansion: given the CSR offsets
+    and degrees of the frontier vertices, it yields the flat edge-slot
+    indices of every (frontier, neighbor) pair in queue order.
+    """
+    total = int(widths.sum())
+    if total == 0:
+        return np.empty(0, dtype=VERTEX_DTYPE)
+    offsets = np.repeat(starts - exclusive_cumsum(widths), widths)
+    return offsets + np.arange(total, dtype=VERTEX_DTYPE)
+
+
+def gather_neighbors(graph: CSRGraph, frontier: np.ndarray):
+    """All out-neighbors of the frontier, with their source vertices.
+
+    Returns
+    -------
+    (sources, neighbors):
+        Parallel arrays with one entry per (frontier vertex, out-edge)
+        pair, in frontier-queue order.
+    """
+    frontier = np.asarray(frontier, dtype=VERTEX_DTYPE)
+    starts = graph.row_offsets[frontier]
+    widths = graph.row_offsets[frontier + 1] - starts
+    slots = expand_ranges(starts, widths)
+    sources = np.repeat(frontier, widths)
+    return sources, graph.col_indices[slots]

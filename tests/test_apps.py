@@ -1,0 +1,122 @@
+"""Applications: reachability index, closeness, betweenness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraversalError
+from repro.graph.builders import from_edges, to_undirected
+from repro.graph.generators import kronecker, path, star
+from repro.bfs.reference import reference_bfs_multi
+from repro.core.engine import IBFS, IBFSConfig
+from repro.apps.betweenness import betweenness_centrality
+from repro.apps.closeness import closeness_centrality
+from repro.apps.reachability import ReachabilityIndex, build_reachability_index
+
+
+@pytest.fixture(scope="module")
+def kron():
+    return kronecker(scale=7, edge_factor=8, seed=14)
+
+
+@pytest.fixture(scope="module")
+def engine(kron):
+    return IBFS(kron, IBFSConfig(group_size=16))
+
+
+class TestReachability:
+    def test_queries_match_reference(self, kron, engine):
+        sources = list(range(12))
+        index = build_reachability_index(kron, engine, sources, k=3)
+        ref = reference_bfs_multi(kron, sources)
+        for s in sources:
+            for t in range(0, kron.num_vertices, 11):
+                assert index.query(s, t) == (0 <= ref[s][t] <= 3)
+
+    def test_source_always_reaches_itself(self, kron, engine):
+        index = build_reachability_index(kron, engine, [5], k=1)
+        assert index.query(5, 5)
+
+    def test_unindexed_source_rejected(self, kron, engine):
+        index = build_reachability_index(kron, engine, [0, 1], k=2)
+        with pytest.raises(TraversalError, match="not indexed"):
+            index.query(99, 0)
+
+    def test_target_out_of_range(self, kron, engine):
+        index = build_reachability_index(kron, engine, [0], k=2)
+        with pytest.raises(TraversalError, match="out of range"):
+            index.query(0, 10**6)
+
+    def test_invalid_k(self, kron, engine):
+        with pytest.raises(TraversalError):
+            build_reachability_index(kron, engine, [0], k=0)
+        with pytest.raises(TraversalError):
+            ReachabilityIndex(0, [], {}, 0.0)
+
+    def test_build_time_recorded(self, kron, engine):
+        index = build_reachability_index(kron, engine, range(8), k=3)
+        assert index.build_seconds > 0
+
+    def test_reachable_count_and_memory(self, kron, engine):
+        index = build_reachability_index(kron, engine, [0], k=2)
+        assert index.reachable_count(0) >= 1
+        assert index.memory_bytes() == kron.num_vertices
+
+    def test_k_monotonicity(self, kron, engine):
+        small = build_reachability_index(kron, engine, [3], k=1)
+        large = build_reachability_index(kron, engine, [3], k=3)
+        assert small.reachable_count(3) <= large.reachable_count(3)
+
+
+class TestCloseness:
+    def test_star_hub_has_maximal_closeness(self):
+        g = star(10)
+        scores = closeness_centrality(g, IBFS(g, IBFSConfig(group_size=11)))
+        assert scores[0] == max(scores.values())
+        assert scores[0] == pytest.approx(1.0)
+
+    def test_path_center_beats_ends(self):
+        g = path(7)
+        scores = closeness_centrality(g, IBFS(g, IBFSConfig(group_size=7)))
+        assert scores[3] > scores[0]
+        assert scores[0] == pytest.approx(scores[6])
+
+    def test_isolated_vertex_scores_zero(self):
+        g = from_edges([(0, 1)], num_vertices=3, undirected=True)
+        scores = closeness_centrality(g, IBFS(g, IBFSConfig(group_size=4)))
+        assert scores[2] == 0.0
+
+    def test_subset_of_sources(self, kron, engine):
+        scores = closeness_centrality(kron, engine, sources=[1, 2, 3])
+        assert set(scores) == {1, 2, 3}
+
+
+class TestBetweenness:
+    def test_path_interior_dominates(self):
+        # Directed convention on a symmetrized path: 2x the undirected BC.
+        bc = betweenness_centrality(path(6), normalized=False)
+        assert bc.tolist() == [0.0, 8.0, 12.0, 12.0, 8.0, 0.0]
+
+    def test_star_hub_dominates(self):
+        bc = betweenness_centrality(star(8), normalized=False)
+        assert bc[0] > 0
+        assert np.allclose(bc[1:], 0.0)
+
+    def test_normalization(self):
+        raw = betweenness_centrality(path(6), normalized=False)
+        norm = betweenness_centrality(path(6), normalized=True)
+        assert np.allclose(norm, raw / (5 * 4))
+
+    def test_sampled_sources_are_partial_sums(self):
+        g = to_undirected(path(5))
+        full = betweenness_centrality(g, normalized=False)
+        part = betweenness_centrality(g, sources=[0], normalized=False)
+        assert (part <= full + 1e-12).all()
+
+    def test_source_out_of_range(self):
+        with pytest.raises(TraversalError):
+            betweenness_centrality(path(3), sources=[5])
+
+    def test_triangle_has_no_betweenness(self):
+        g = from_edges([(0, 1), (1, 2), (2, 0)], undirected=True)
+        bc = betweenness_centrality(g, normalized=False)
+        assert np.allclose(bc, 0.0)

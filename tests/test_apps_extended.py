@@ -1,0 +1,102 @@
+"""APSP front-ends and concurrent connected components."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builders import from_edges
+from repro.graph.generators import kronecker, path, star
+from repro.graph.properties import connected_components
+from repro.bfs.reference import reference_bfs_multi
+from repro.core.engine import IBFS, IBFSConfig
+from repro.apps.apsp import (
+    apsp_unweighted,
+    eccentricities,
+    exact_diameter,
+)
+from repro.apps.components import (
+    component_sizes,
+    connected_components_concurrent,
+)
+
+
+@pytest.fixture(scope="module")
+def small_kron():
+    return kronecker(scale=6, edge_factor=5, seed=51)
+
+
+@pytest.fixture(scope="module")
+def engine(small_kron):
+    return IBFS(small_kron, IBFSConfig(group_size=16))
+
+
+class TestAPSP:
+    def test_matches_reference(self, small_kron, engine):
+        matrix = apsp_unweighted(small_kron, engine)
+        expected = reference_bfs_multi(
+            small_kron, range(small_kron.num_vertices)
+        )
+        assert np.array_equal(matrix, expected)
+
+    def test_diagonal_is_zero(self, small_kron, engine):
+        matrix = apsp_unweighted(small_kron, engine)
+        assert (np.diag(matrix) == 0).all()
+
+    def test_path_eccentricities(self):
+        g = path(5)
+        engine = IBFS(g, IBFSConfig(group_size=5))
+        assert eccentricities(g, engine).tolist() == [4, 3, 2, 3, 4]
+
+    def test_exact_diameter(self):
+        g = path(7)
+        engine = IBFS(g, IBFSConfig(group_size=7))
+        assert exact_diameter(g, engine) == 6
+
+    def test_star_diameter(self):
+        g = star(12)
+        engine = IBFS(g, IBFSConfig(group_size=13))
+        assert exact_diameter(g, engine) == 2
+
+    def test_isolated_vertices_have_ecc_zero(self):
+        g = from_edges([(0, 1)], num_vertices=3, undirected=True)
+        engine = IBFS(g, IBFSConfig(group_size=3))
+        assert eccentricities(g, engine).tolist() == [1, 1, 0]
+
+
+class TestConnectedComponents:
+    def test_matches_reference_labels(self, small_kron):
+        expected = connected_components(small_kron)
+        got = connected_components_concurrent(small_kron, batch_size=8)
+        assert np.array_equal(got, expected)
+
+    def test_multi_component_graph(self):
+        g = from_edges(
+            [(0, 1), (1, 2), (4, 5), (7, 8), (8, 9)],
+            num_vertices=10,
+            undirected=True,
+        )
+        labels = connected_components_concurrent(g, batch_size=4)
+        assert np.array_equal(labels, connected_components(g))
+        sizes = component_sizes(labels)
+        assert sizes == {0: 3, 3: 1, 4: 2, 6: 1, 7: 3}
+
+    def test_directed_graph_uses_weak_connectivity(self):
+        g = from_edges([(0, 1), (2, 1)], num_vertices=3)
+        labels = connected_components_concurrent(g, batch_size=2)
+        assert labels.tolist() == [0, 0, 0]
+
+    def test_empty_graph(self):
+        from repro.graph.csr import empty_graph
+
+        labels = connected_components_concurrent(empty_graph(0))
+        assert labels.size == 0
+
+    def test_all_isolated(self):
+        from repro.graph.csr import empty_graph
+
+        labels = connected_components_concurrent(empty_graph(5), batch_size=2)
+        assert labels.tolist() == [0, 1, 2, 3, 4]
+
+    def test_batch_size_does_not_change_labels(self, small_kron):
+        a = connected_components_concurrent(small_kron, batch_size=2)
+        b = connected_components_concurrent(small_kron, batch_size=32)
+        assert np.array_equal(a, b)

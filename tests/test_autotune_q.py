@@ -1,0 +1,71 @@
+"""Programmatic q tuning (the figure-8 sweep as an API)."""
+
+import pytest
+
+from repro.errors import GroupingError
+from repro.graph.generators import kronecker, star, uniform_random
+from repro.core.groupby import GroupByConfig, auto_tune_q, group_sources
+from repro.core.joint import JointTraversal
+
+
+@pytest.fixture(scope="module")
+def kron():
+    return kronecker(scale=8, edge_factor=8, seed=181)
+
+
+class TestAutoTuneQ:
+    def test_returns_a_candidate(self, kron):
+        q = auto_tune_q(kron, list(range(48)), group_size=16)
+        assert q in (4, 16, 64, 128, 256, 1024)
+
+    def test_custom_candidates(self, kron):
+        q = auto_tune_q(
+            kron, list(range(32)), group_size=16, candidates=(8, 32)
+        )
+        assert q in (8, 32)
+
+    def test_invalid_arguments(self, kron):
+        with pytest.raises(GroupingError):
+            auto_tune_q(kron, [0, 1], group_size=0)
+        with pytest.raises(GroupingError):
+            auto_tune_q(kron, [0, 1], group_size=4, candidates=())
+
+    def test_deterministic(self, kron):
+        sources = list(range(48))
+        assert auto_tune_q(kron, sources, 16) == auto_tune_q(
+            kron, sources, 16
+        )
+
+    def test_tuned_q_not_worse_than_extreme(self, kron):
+        """The tuned q's grouping shares at least as much overall as a
+        hopeless extreme threshold (q larger than the max degree)."""
+        sources = list(range(48))
+        tuned = auto_tune_q(kron, sources, 16)
+        engine = JointTraversal(kron)
+
+        def overall_sd(q):
+            groups = group_sources(kron, sources, 16, GroupByConfig(q=q))
+            total = 0.0
+            weight = 0
+            for members in groups:
+                _, _, stats = engine.run_group(members)
+                total += stats.sharing_degree * len(members)
+                weight += len(members)
+            return total / weight
+
+        hopeless_q = int(kron.out_degrees().max()) + 1
+        assert overall_sd(tuned) >= overall_sd(hopeless_q) * 0.9
+
+    def test_star_graph_prefers_reachable_threshold(self):
+        # All leaves share one hub of degree ~n; any q below that degree
+        # should be chosen over one above it.
+        g = star(300)
+        q = auto_tune_q(
+            g, list(range(1, 41)), group_size=8, candidates=(16, 100000)
+        )
+        assert q == 16
+
+    def test_uniform_graph_runs(self):
+        g = uniform_random(256, 4, seed=182)
+        q = auto_tune_q(g, list(range(32)), group_size=8)
+        assert isinstance(q, int)

@@ -1,0 +1,101 @@
+"""The 13-graph benchmark suite: naming, caching, and structure."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.benchmarks import (
+    BENCHMARK_NAMES,
+    benchmark_graph,
+    benchmark_spec,
+    benchmark_suite,
+    clear_cache,
+)
+from repro.graph.properties import gini_coefficient
+
+
+def test_all_thirteen_names_present():
+    assert len(BENCHMARK_NAMES) == 13
+    assert set(BENCHMARK_NAMES) == {
+        "FB", "FR", "HW", "KG0", "KG1", "KG2", "LJ", "OR", "PK",
+        "RD", "RM", "TW", "WK",
+    }
+
+
+def test_lookup_is_case_insensitive():
+    assert benchmark_spec("kg0").name == "KG0"
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(GraphError, match="unknown benchmark"):
+        benchmark_graph("XX")
+
+
+def test_graphs_are_cached():
+    a = benchmark_graph("PK", scale_delta=-3)
+    b = benchmark_graph("PK", scale_delta=-3)
+    assert a is b
+
+
+def test_cache_can_be_cleared():
+    a = benchmark_graph("PK", scale_delta=-3)
+    clear_cache()
+    b = benchmark_graph("PK", scale_delta=-3)
+    assert a is not b
+    assert a == b  # deterministic regeneration
+
+
+def test_scale_delta_changes_size():
+    small = benchmark_graph("WK", scale_delta=-4)
+    big = benchmark_graph("WK", scale_delta=-3)
+    assert big.num_vertices == 2 * small.num_vertices
+
+
+def test_too_small_scale_rejected():
+    with pytest.raises(GraphError, match="too small"):
+        benchmark_graph("PK", scale_delta=-8)
+
+
+def test_rd_is_uniform_and_others_are_skewed():
+    rd = benchmark_graph("RD", scale_delta=-3)
+    fb = benchmark_graph("FB", scale_delta=-3)
+    assert gini_coefficient(rd) < 0.2
+    assert gini_coefficient(fb) > 0.4
+
+
+def test_kg2_is_the_largest():
+    sizes = {
+        name: benchmark_graph(name, scale_delta=-3).num_edges
+        for name in BENCHMARK_NAMES
+    }
+    assert max(sizes, key=sizes.get) == "KG2"
+
+
+def test_suite_iterates_in_name_order():
+    names = [name for name, _ in benchmark_suite(scale_delta=-4)]
+    assert names == sorted(names)
+    assert len(names) == 13
+
+
+def test_generation_is_process_stable():
+    """Benchmark graphs must not depend on Python hash randomization —
+    a prior bug seeded them with hash(name), which varies per process
+    and silently made benchmark results irreproducible."""
+    import subprocess
+    import sys
+
+    script = (
+        "from repro.graph.benchmarks import benchmark_graph;"
+        "g = benchmark_graph('OR', scale_delta=-3);"
+        "print(g.num_edges, int(g.col_indices[:50].sum()))"
+    )
+    outputs = set()
+    for hash_seed in ("1", "42", "random"):
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+        )
+        assert completed.returncode == 0, completed.stderr
+        outputs.add(completed.stdout.strip())
+    assert len(outputs) == 1, outputs

@@ -1,0 +1,77 @@
+"""Oracle BFS sanity: hand-checked depth arrays."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraversalError
+from repro.graph.builders import from_edges
+from repro.graph.generators import complete, path, star
+from repro.bfs.reference import reference_bfs, reference_bfs_multi
+
+
+def test_path_depths():
+    g = path(5)
+    assert reference_bfs(g, 0).tolist() == [0, 1, 2, 3, 4]
+    assert reference_bfs(g, 2).tolist() == [2, 1, 0, 1, 2]
+
+
+def test_star_depths():
+    g = star(4)  # hub 0
+    assert reference_bfs(g, 0).tolist() == [0, 1, 1, 1, 1]
+    assert reference_bfs(g, 1).tolist() == [1, 0, 2, 2, 2]
+
+
+def test_complete_depths():
+    g = complete(4)
+    assert reference_bfs(g, 3).tolist() == [1, 1, 1, 0]
+
+
+def test_unreachable_marked_minus_one():
+    g = from_edges([(0, 1)], num_vertices=4)
+    assert reference_bfs(g, 0).tolist() == [0, 1, -1, -1]
+
+
+def test_directed_edges_not_followed_backwards():
+    g = from_edges([(0, 1), (1, 2)], num_vertices=3)
+    assert reference_bfs(g, 2).tolist() == [-1, -1, 0]
+
+
+def test_self_loop_does_not_change_depths():
+    g = from_edges([(0, 0), (0, 1)], num_vertices=2)
+    assert reference_bfs(g, 0).tolist() == [0, 1]
+
+
+def test_multi_edges_do_not_change_depths():
+    g = from_edges([(0, 1), (0, 1), (1, 2)], num_vertices=3)
+    assert reference_bfs(g, 0).tolist() == [0, 1, 2]
+
+
+def test_source_out_of_range():
+    g = path(3)
+    with pytest.raises(TraversalError):
+        reference_bfs(g, 3)
+    with pytest.raises(TraversalError):
+        reference_bfs(g, -1)
+
+
+def test_multi_stacks_rows():
+    g = path(4)
+    depths = reference_bfs_multi(g, [0, 3])
+    assert depths.shape == (2, 4)
+    assert depths[0].tolist() == [0, 1, 2, 3]
+    assert depths[1].tolist() == [3, 2, 1, 0]
+
+
+def test_example_graph_from_figure_1():
+    # The paper's running example: 9 vertices; BFS trees from figure 1(b).
+    edges = [
+        (0, 1), (0, 4), (1, 2), (1, 5), (2, 3), (2, 6), (3, 6), (4, 5),
+        (5, 7), (6, 7), (7, 8), (4, 8),
+    ]
+    g = from_edges(edges, num_vertices=9, undirected=True)
+    depths0 = reference_bfs(g, 0)
+    assert depths0[0] == 0
+    assert depths0[1] == 1 and depths0[4] == 1
+    # All vertices reachable within a small depth.
+    assert (depths0 >= 0).all()
+    assert depths0.max() <= 4

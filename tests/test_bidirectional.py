@@ -1,0 +1,91 @@
+"""Bidirectional point-to-point distance queries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraversalError
+from repro.graph.builders import from_edges
+from repro.graph.generators import grid_2d, kronecker, path
+from repro.bfs.bidirectional import bidirectional_distance
+from repro.bfs.reference import reference_bfs
+
+
+@pytest.fixture(scope="module")
+def kron():
+    return kronecker(scale=8, edge_factor=8, seed=231)
+
+
+class TestCorrectness:
+    def test_matches_full_bfs_on_kron(self, kron):
+        rng = np.random.default_rng(232)
+        for _ in range(20):
+            s = int(rng.integers(kron.num_vertices))
+            t = int(rng.integers(kron.num_vertices))
+            expected = int(reference_bfs(kron, s)[t])
+            got = bidirectional_distance(kron, s, t)
+            assert got.distance == expected, (s, t)
+
+    def test_path_graph_distances(self):
+        g = path(20)
+        result = bidirectional_distance(g, 0, 19)
+        assert result.distance == 19
+        assert result.reachable
+
+    def test_grid_distances(self):
+        g = grid_2d(6, 6)
+        assert bidirectional_distance(g, 0, 35).distance == 10
+
+    def test_same_vertex(self, kron):
+        result = bidirectional_distance(kron, 5, 5)
+        assert result.distance == 0
+        assert result.meeting_vertex == 5
+
+    def test_unreachable(self):
+        g = from_edges([(0, 1)], num_vertices=4)
+        result = bidirectional_distance(g, 0, 3)
+        assert result.distance == -1
+        assert not result.reachable
+        assert result.meeting_vertex == -1
+
+    def test_directed_edges_respected(self):
+        g = from_edges([(0, 1), (1, 2)], num_vertices=3)
+        assert bidirectional_distance(g, 0, 2).distance == 2
+        assert bidirectional_distance(g, 2, 0).distance == -1
+
+    def test_vertex_out_of_range(self, kron):
+        with pytest.raises(TraversalError):
+            bidirectional_distance(kron, 0, 10**6)
+
+
+class TestEfficiency:
+    def test_visits_fewer_than_full_bfs(self, kron):
+        s = int(kron.out_degrees().argmax())
+        depths = reference_bfs(kron, s)
+        # A nearby target: meet-in-the-middle touches a fraction.
+        targets = np.flatnonzero(depths == 2)
+        if targets.size:
+            result = bidirectional_distance(kron, s, int(targets[0]))
+            full = int(np.count_nonzero(depths >= 0))
+            assert result.visited < full
+
+    def test_max_depth_cuts_off(self):
+        g = path(30)
+        result = bidirectional_distance(g, 0, 29, max_depth=4)
+        assert result.distance == -1
+
+    def test_max_depth_still_finds_close_pairs(self):
+        g = path(30)
+        result = bidirectional_distance(g, 3, 6, max_depth=10)
+        assert result.distance == 3
+
+    def test_meeting_vertex_lies_on_a_shortest_path(self, kron):
+        rng = np.random.default_rng(233)
+        for _ in range(10):
+            s = int(rng.integers(kron.num_vertices))
+            t = int(rng.integers(kron.num_vertices))
+            result = bidirectional_distance(kron, s, t)
+            if result.distance > 0:
+                m = result.meeting_vertex
+                ds = int(reference_bfs(kron, s)[m])
+                dt = int(reference_bfs(kron, m)[t])
+                assert ds + dt == result.distance

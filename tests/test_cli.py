@@ -1,0 +1,114 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import kronecker
+from repro.graph.io import load_csr, save_csr
+
+
+@pytest.fixture
+def saved_graph(tmp_path):
+    graph = kronecker(scale=7, edge_factor=6, seed=61)
+    target = tmp_path / "g.csr"
+    save_csr(graph, target)
+    return str(target), graph
+
+
+class TestGenerate:
+    def test_generates_and_saves(self, tmp_path, capsys):
+        out = tmp_path / "k.csr"
+        code = main([
+            "generate", "--kind", "kronecker", "--scale", "7",
+            "--edge-factor", "4", "--seed", "3", "--output", str(out),
+        ])
+        assert code == 0
+        graph = load_csr(out)
+        assert graph.num_vertices == 128
+        assert "wrote kronecker graph" in capsys.readouterr().out
+
+    def test_uniform_kind(self, tmp_path):
+        out = tmp_path / "u.csr"
+        assert main([
+            "generate", "--kind", "uniform", "--scale", "6",
+            "--edge-factor", "3", "--output", str(out),
+        ]) == 0
+        assert load_csr(out).num_vertices == 64
+
+
+class TestInfo:
+    def test_info_on_saved_graph(self, saved_graph, capsys):
+        path, graph = saved_graph
+        assert main(["info", path]) == 0
+        out = capsys.readouterr().out
+        assert f"vertices        : {graph.num_vertices}" in out
+        assert "gini" in out
+
+    def test_info_on_benchmark_name(self, capsys):
+        assert main(["info", "PK"]) == 0
+        assert "vertices" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_prints_metrics(self, saved_graph, capsys):
+        path, _ = saved_graph
+        code = main(["run", path, "--sources", "16", "--group-size", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GTEPS" in out
+        assert "sharing degree" in out
+
+    def test_run_joint_no_groupby(self, saved_graph, capsys):
+        path, _ = saved_graph
+        assert main([
+            "run", path, "--sources", "8", "--group-size", "4",
+            "--mode", "joint", "--no-groupby",
+        ]) == 0
+        assert "ibfs-joint+random" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_ladder_has_all_engines(self, saved_graph, capsys):
+        path, _ = saved_graph
+        assert main([
+            "compare", path, "--sources", "16", "--group-size", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        for label in ("sequential", "naive", "joint", "bitwise", "groupby"):
+            assert label in out
+
+
+class TestGroups:
+    def test_partition_printed(self, saved_graph, capsys):
+        path, _ = saved_graph
+        assert main([
+            "groups", path, "--sources", "24", "--group-size", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "24 sources" in out
+        assert "group   0" in out
+
+
+class TestSSSPAndTopK:
+    def test_sssp_verified(self, saved_graph, capsys):
+        path, _ = saved_graph
+        assert main(["sssp", path, "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "verified against Dijkstra: ok" in out
+
+    def test_sssp_explicit_source(self, saved_graph, capsys):
+        path, _ = saved_graph
+        assert main(["sssp", path, "--source", "0"]) == 0
+        assert "source            : 0" in capsys.readouterr().out
+
+    def test_topk(self, capsys):
+        assert main(["topk", "PK", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "top-2 closeness" in out
+        assert "closeness=" in out
+
+
+def test_missing_subcommand_exits():
+    with pytest.raises(SystemExit):
+        main([])

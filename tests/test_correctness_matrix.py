@@ -1,0 +1,51 @@
+"""Every engine x every graph family must match the oracle exactly.
+
+This is the library's behavioural contract: all performance techniques
+(joint traversal, GroupBy, bitwise statuses, early termination, cost
+models) are observationally invisible in the computed depths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bfs.reference import reference_bfs_multi
+from repro.core.result import validate_against_reference
+
+from tests.conftest import pick_sources
+
+
+GRAPH_NAMES = [
+    "kron",
+    "uniform",
+    "disconnected",
+    "star",
+    "path",
+    "complete",
+    "small_world",
+    "scale_free",
+    "self_loops",
+    "multi_edges",
+]
+
+
+@pytest.mark.parametrize("graph_name", GRAPH_NAMES)
+def test_engine_matches_oracle(graph_zoo, any_engine_factory, graph_name):
+    name, factory = any_engine_factory
+    graph = graph_zoo[graph_name]
+    sources = pick_sources(graph, 12, seed=hash(name) % 1000)
+    result = factory(graph).run(sources)
+    validate_against_reference(result, reference_bfs_multi(graph, sources))
+
+
+def test_engines_agree_with_each_other(graph_zoo):
+    """Cross-check: all engines produce bitwise-identical matrices."""
+    from tests.conftest import engine_factories
+
+    graph = graph_zoo["kron"]
+    sources = pick_sources(graph, 10, seed=3)
+    matrices = {}
+    for name, factory in engine_factories():
+        matrices[name] = factory(graph).run(sources).depths
+    baseline = matrices.pop("sequential")
+    for name, depths in matrices.items():
+        assert np.array_equal(depths, baseline), name

@@ -1,0 +1,165 @@
+"""Cross-validation against networkx and scipy.
+
+Everything in this repository is implemented from scratch; these tests
+check the core algorithms against two independent, widely-used
+implementations — BFS depths, weighted shortest paths, connected
+components, betweenness, closeness, and shortest-path counts.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import (
+    bellman_ford as scipy_bellman_ford,
+    connected_components as scipy_components,
+    dijkstra as scipy_dijkstra,
+    shortest_path as scipy_shortest_path,
+)
+
+from repro.graph.builders import from_edges, simplify, to_undirected
+from repro.graph.generators import kronecker, scale_free, uniform_random
+from repro.graph.properties import connected_components
+from repro.graph.weighted import with_random_weights
+from repro.bfs.reference import reference_bfs
+from repro.bfs.sssp import bellman_ford, dijkstra
+from repro.bfs.paths import all_shortest_path_counts
+from repro.core.engine import IBFS, IBFSConfig
+from repro.apps.betweenness import betweenness_centrality
+from repro.apps.closeness import closeness_centrality
+from repro.apps.components import connected_components_concurrent
+
+
+def _to_nx(graph, directed=True):
+    g = nx.DiGraph() if directed else nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    g.add_edges_from(graph.edges())
+    return g
+
+
+def _to_scipy(graph, weights=None):
+    """Sparse adjacency with parallel edges collapsed to the *minimum*
+    weight (csr_matrix construction would otherwise sum duplicates,
+    which no shortest-path semantics wants)."""
+    src, dst = graph.edge_array()
+    data = weights if weights is not None else np.ones(src.size)
+    n = graph.num_vertices
+    dense_key = src * n + dst
+    order = np.argsort(dense_key, kind="stable")
+    key_sorted = dense_key[order]
+    data_sorted = data[order]
+    boundaries = np.flatnonzero(
+        np.concatenate([[True], key_sorted[1:] != key_sorted[:-1]])
+    )
+    min_data = np.minimum.reduceat(data_sorted, boundaries)
+    unique_keys = key_sorted[boundaries]
+    return csr_matrix(
+        (min_data, (unique_keys // n, unique_keys % n)), shape=(n, n)
+    )
+
+
+@pytest.fixture(scope="module")
+def kron():
+    return kronecker(scale=7, edge_factor=6, seed=151)
+
+
+@pytest.fixture(scope="module")
+def weighted(kron):
+    return with_random_weights(kron, low=1.0, high=5.0, seed=152)
+
+
+class TestBFSDepths:
+    def test_reference_matches_networkx(self, kron):
+        nxg = _to_nx(kron)
+        for source in (0, 9, 77):
+            ours = reference_bfs(kron, source)
+            theirs = nx.single_source_shortest_path_length(nxg, source)
+            for v in range(kron.num_vertices):
+                expected = theirs.get(v, -1)
+                assert ours[v] == expected, (source, v)
+
+    def test_engine_matches_scipy_unweighted(self, kron):
+        matrix = _to_scipy(kron)
+        sources = [3, 40, 90]
+        result = IBFS(kron, IBFSConfig(group_size=4)).run(sources)
+        scipy_dist = scipy_shortest_path(
+            matrix, method="D", unweighted=True, indices=sources
+        )
+        for row, s in enumerate(sources):
+            ours = result.depth_row(s).astype(float)
+            ours[ours < 0] = np.inf
+            assert np.array_equal(ours, scipy_dist[row])
+
+
+class TestWeightedPaths:
+    def test_dijkstra_matches_scipy(self, kron, weighted):
+        matrix = _to_scipy(kron, weighted.weights)
+        for source in (0, 25, 60):
+            ours = dijkstra(weighted, source)
+            theirs = scipy_dijkstra(matrix, indices=source)
+            assert np.allclose(ours, theirs, equal_nan=True)
+
+    def test_bellman_ford_matches_scipy(self, kron, weighted):
+        matrix = _to_scipy(kron, weighted.weights)
+        ours = bellman_ford(weighted, 5)
+        theirs = scipy_bellman_ford(matrix, indices=5)
+        assert np.allclose(ours, theirs, equal_nan=True)
+
+
+class TestComponents:
+    def test_labels_match_scipy(self):
+        graph = uniform_random(150, 2, seed=153)
+        matrix = _to_scipy(graph)
+        count, scipy_labels = scipy_components(matrix, connection="weak")
+        ours = connected_components(graph)
+        # Same partition (label values differ; compare partition shape).
+        assert np.unique(ours).size == count
+        for label in np.unique(scipy_labels):
+            members = np.flatnonzero(scipy_labels == label)
+            assert np.unique(ours[members]).size == 1
+
+    def test_concurrent_labels_match_scipy(self):
+        graph = from_edges(
+            [(0, 1), (2, 3), (3, 4), (6, 7)], num_vertices=9, undirected=True
+        )
+        matrix = _to_scipy(graph)
+        count, _ = scipy_components(matrix, connection="weak")
+        ours = connected_components_concurrent(graph, batch_size=3)
+        assert np.unique(ours).size == count
+
+
+class TestCentrality:
+    def test_betweenness_matches_networkx(self):
+        # networkx's DiGraph collapses parallel edges, so compare on the
+        # simplified graph (standard simple-graph betweenness).
+        graph = simplify(scale_free(120, 3, seed=154))
+        nxg = _to_nx(graph)
+        ours = betweenness_centrality(graph, normalized=True)
+        theirs = nx.betweenness_centrality(nxg, normalized=True)
+        for v in range(graph.num_vertices):
+            assert ours[v] == pytest.approx(theirs[v], abs=1e-9)
+
+    def test_closeness_matches_networkx(self, kron):
+        # networkx's closeness uses incoming distances on digraphs with
+        # the Wasserman-Faust improvement; compare on the reverse graph.
+        engine = IBFS(kron, IBFSConfig(group_size=16))
+        sample = list(range(0, 64, 4))
+        ours = closeness_centrality(kron, engine, sources=sample)
+        nxg = _to_nx(kron.reverse())
+        for v in sample:
+            theirs = nx.closeness_centrality(
+                nxg, u=v, wf_improved=True
+            )
+            assert ours[v] == pytest.approx(theirs, abs=1e-9)
+
+    def test_path_counts_match_networkx(self):
+        graph = to_undirected(from_edges(
+            [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (1, 4)]
+        ))
+        sigma = all_shortest_path_counts(graph, 0)
+        nxg = _to_nx(graph)
+        for target in range(1, 5):
+            paths = list(
+                nx.all_shortest_paths(nxg, 0, target)
+            )
+            assert sigma[target] == len(paths)

@@ -1,0 +1,62 @@
+"""Engines on every device preset: correctness is device-independent,
+relative performance follows the hardware (K40 > K20 > Xeon)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import kronecker
+from repro.gpusim.config import KEPLER_K20, KEPLER_K40, XEON_CPU
+from repro.gpusim.device import Device
+from repro.bfs.reference import reference_bfs_multi
+from repro.core.engine import IBFS, IBFSConfig
+
+PRESETS = {"k40": KEPLER_K40, "k20": KEPLER_K20, "xeon": XEON_CPU}
+
+
+@pytest.fixture(scope="module")
+def kron():
+    return kronecker(scale=8, edge_factor=8, seed=261)
+
+
+@pytest.fixture(scope="module")
+def sources():
+    return list(range(0, 48, 3))
+
+
+@pytest.fixture(scope="module")
+def results(kron, sources):
+    out = {}
+    for name, preset in PRESETS.items():
+        engine = IBFS(
+            kron, IBFSConfig(group_size=16), device=Device(preset)
+        )
+        out[name] = engine.run(sources, store_depths=True)
+    return out
+
+
+def test_depths_identical_across_devices(kron, sources, results):
+    expected = reference_bfs_multi(kron, sources)
+    for name, result in results.items():
+        assert np.array_equal(result.depths, expected), name
+
+
+def test_algorithmic_counters_identical_across_devices(results):
+    """Device choice changes pricing, never the traversal."""
+    base = results["k40"].counters
+    for name in ("k20", "xeon"):
+        c = results[name].counters
+        assert c.inspections == base.inspections, name
+        assert c.edges_traversed == base.edges_traversed, name
+        assert c.frontier_enqueues == base.frontier_enqueues, name
+        assert c.early_terminations == base.early_terminations, name
+
+
+def test_performance_follows_hardware(results):
+    assert results["k40"].seconds < results["k20"].seconds
+    assert results["k20"].seconds < results["xeon"].seconds
+
+
+def test_occupancy_defaults_full_on_both_gpus():
+    for preset in (KEPLER_K40, KEPLER_K20):
+        report = Device(preset).occupancy()
+        assert report.occupancy == pytest.approx(1.0)

@@ -1,0 +1,93 @@
+"""Distributed iBFS front-end."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.graph.generators import kronecker
+from repro.gpusim.config import KEPLER_K20
+from repro.bfs.reference import reference_bfs_multi
+from repro.core.distributed import DistributedIBFS
+from repro.core.engine import IBFSConfig
+
+
+@pytest.fixture(scope="module")
+def kron():
+    return kronecker(scale=8, edge_factor=8, seed=161)
+
+
+@pytest.fixture(scope="module")
+def engine(kron):
+    return DistributedIBFS(
+        kron, num_devices=4, config=IBFSConfig(group_size=8)
+    )
+
+
+class TestConstruction:
+    def test_invalid_device_count(self, kron):
+        with pytest.raises(SimulationError):
+            DistributedIBFS(kron, 0)
+
+    def test_graph_must_fit(self, kron):
+        tiny = KEPLER_K20.with_memory(16)
+        with pytest.raises(SimulationError, match="does not fit"):
+            DistributedIBFS(kron, 2, device_config=tiny)
+
+
+class TestRun:
+    def test_depths_exact(self, kron, engine):
+        sources = list(range(0, 64, 2))
+        result = engine.run(sources, store_depths=True)
+        assert np.array_equal(
+            result.local.depths, reference_bfs_multi(kron, sources)
+        )
+
+    def test_makespan_bounds(self, kron, engine):
+        sources = list(range(64))
+        result = engine.run(sources)
+        serial = float(result.device_times.sum())
+        assert result.makespan <= serial
+        assert result.makespan >= serial / engine.num_devices - 1e-15
+
+    def test_speedup_and_efficiency(self, kron, engine):
+        sources = list(range(64))
+        result = engine.run(sources)
+        assert 1.0 <= result.speedup <= engine.num_devices
+        assert 0 < result.efficiency <= 1.0
+        assert result.imbalance >= 1.0
+
+    def test_assignment_covers_all_groups(self, kron, engine):
+        sources = list(range(64))
+        result = engine.run(sources)
+        assigned = [
+            g
+            for device in range(result.num_devices)
+            for g in result.groups_on_device(device)
+        ]
+        assert sorted(assigned) == list(range(len(result.local.groups)))
+
+    def test_groups_on_device_bounds(self, kron, engine):
+        result = engine.run(list(range(16)))
+        with pytest.raises(SimulationError):
+            result.groups_on_device(99)
+
+    def test_teps_uses_makespan(self, kron, engine):
+        sources = list(range(64))
+        result = engine.run(sources)
+        assert result.teps == pytest.approx(
+            result.local.counters.edges_traversed / result.makespan
+        )
+        assert result.teps > result.local.teps  # parallel speedup
+
+
+class TestStrongScaling:
+    def test_monotone_speedup(self, kron):
+        engine = DistributedIBFS(
+            kron, num_devices=1, config=IBFSConfig(group_size=4)
+        )
+        sources = list(range(128))
+        results = engine.strong_scaling(sources, [1, 2, 4, 8])
+        speedups = [r.speedup for r in results]
+        assert speedups[0] == pytest.approx(1.0)
+        assert all(b >= a - 1e-12 for a, b in zip(speedups, speedups[1:]))
+        assert speedups[-1] > 4.0

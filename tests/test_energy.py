@@ -1,0 +1,73 @@
+"""Energy accounting (Green Graph500-style TEPS/W)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.graph.generators import kronecker
+from repro.gpusim.config import KEPLER_K40
+from repro.gpusim.counters import ProfilerCounters
+from repro.gpusim.energy import EnergyModel, energy_report
+from repro.core.engine import IBFS, IBFSConfig
+from repro.bfs.sequential import SequentialConcurrentBFS
+
+
+@pytest.fixture(scope="module")
+def run():
+    graph = kronecker(scale=8, edge_factor=8, seed=111)
+    sources = list(range(32))
+    return IBFS(graph, IBFSConfig(group_size=32)).run(
+        sources, store_depths=False
+    )
+
+
+class TestEnergyModel:
+    def test_dynamic_energy_scales_with_traffic(self):
+        model = EnergyModel()
+        light = ProfilerCounters(global_load_transactions=100)
+        heavy = ProfilerCounters(global_load_transactions=1000)
+        assert model.dynamic_energy(heavy, KEPLER_K40) == pytest.approx(
+            10 * model.dynamic_energy(light, KEPLER_K40)
+        )
+
+    def test_total_adds_static_draw(self):
+        model = EnergyModel(static_watts=50.0)
+        counters = ProfilerCounters()
+        assert model.total_energy(counters, KEPLER_K40, 2.0) == pytest.approx(
+            100.0
+        )
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            EnergyModel(static_watts=-1.0)
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(SimulationError):
+            EnergyModel().total_energy(ProfilerCounters(), KEPLER_K40, -1.0)
+
+    def test_teps_per_watt_zero_cases(self):
+        model = EnergyModel()
+        assert model.teps_per_watt(ProfilerCounters(), KEPLER_K40, 0.0) == 0.0
+
+
+class TestEnergyReport:
+    def test_report_fields(self, run):
+        report = energy_report(run, KEPLER_K40)
+        assert report["total_joules"] > 0
+        assert report["total_joules"] == pytest.approx(
+            report["dynamic_joules"] + report["static_joules"]
+        )
+        assert report["average_watts"] > 0
+        assert report["teps_per_watt"] > 0
+
+    def test_ibfs_more_efficient_than_sequential(self):
+        """Fewer transactions and less time -> better TEPS/W: the Green
+        Graph500 angle on the paper's result."""
+        graph = kronecker(scale=8, edge_factor=8, seed=112)
+        sources = list(range(32))
+        seq = SequentialConcurrentBFS(graph).run(sources, store_depths=False)
+        ibfs = IBFS(graph, IBFSConfig(group_size=32)).run(
+            sources, store_depths=False
+        )
+        seq_eff = energy_report(seq, KEPLER_K40)["teps_per_watt"]
+        ibfs_eff = energy_report(ibfs, KEPLER_K40)["teps_per_watt"]
+        assert ibfs_eff > seq_eff

@@ -1,0 +1,38 @@
+"""Exception hierarchy sanity checks."""
+
+import pytest
+
+from repro.errors import (
+    CapacityError,
+    GraphError,
+    GraphFormatError,
+    GroupingError,
+    ReproError,
+    SimulationError,
+    TraversalError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc_type in (
+        GraphError,
+        GraphFormatError,
+        SimulationError,
+        CapacityError,
+        TraversalError,
+        GroupingError,
+    ):
+        assert issubclass(exc_type, ReproError)
+
+
+def test_format_error_is_a_graph_error():
+    assert issubclass(GraphFormatError, GraphError)
+
+
+def test_capacity_error_is_a_simulation_error():
+    assert issubclass(CapacityError, SimulationError)
+
+
+def test_catching_base_catches_subclass():
+    with pytest.raises(ReproError):
+        raise CapacityError("out of memory")

@@ -1,0 +1,46 @@
+"""Every example script must run cleanly end-to-end.
+
+The examples are part of the public deliverable; this keeps them from
+rotting as the API evolves.  Each runs in a subprocess (so its
+``__main__`` path and imports are exercised exactly as a user would).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 6
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples must print something"
+
+
+def test_quickstart_reports_key_metrics():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    out = completed.stdout
+    assert "traversal rate" in out
+    assert "sharing degree" in out
+    assert "early terminations" in out

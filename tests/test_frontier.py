@@ -1,0 +1,116 @@
+"""Joint frontier queue generation with ballots."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraversalError
+from repro.core.frontier import (
+    FrontierBallots,
+    frontier_bits_bottom_up,
+    frontier_bits_top_down,
+    generate_jfq,
+)
+from repro.core.status_array import full_mask
+
+
+class TestGenerateJFQ:
+    def test_any_vote_selects_frontiers(self):
+        bits = np.asarray([[0], [0b101], [0], [0b010]], dtype=np.uint64)
+        result = generate_jfq(bits, group_size=3)
+        assert result.queue.tolist() == [1, 3]
+        assert result.ballots[:, 0].tolist() == [0b101, 0b010]
+
+    def test_one_dimensional_input_promoted(self):
+        bits = np.asarray([0, 1, 0], dtype=np.uint64)
+        result = generate_jfq(bits, group_size=1)
+        assert result.queue.tolist() == [1]
+
+    def test_empty_when_no_bits_set(self):
+        bits = np.zeros((5, 2), dtype=np.uint64)
+        result = generate_jfq(bits, group_size=100)
+        assert result.size == 0
+        assert result.sharing_degree() == 0.0
+        assert result.sharing_histogram() == {}
+
+    def test_invalid_group_size(self):
+        with pytest.raises(TraversalError):
+            generate_jfq(np.zeros((2, 1), dtype=np.uint64), 0)
+
+    def test_misaligned_ballots_rejected(self):
+        with pytest.raises(TraversalError):
+            FrontierBallots(
+                queue=np.asarray([0, 1]),
+                ballots=np.zeros((1, 1), dtype=np.uint64),
+                group_size=2,
+            )
+
+
+class TestSharingStats:
+    def test_share_counts(self):
+        bits = np.asarray([[0b111], [0b001], [0b011]], dtype=np.uint64)
+        result = generate_jfq(bits, group_size=3)
+        assert result.share_counts().tolist() == [3, 1, 2]
+
+    def test_histogram(self):
+        bits = np.asarray(
+            [[0b1], [0b1], [0b11], [0b111], [0]], dtype=np.uint64
+        )
+        result = generate_jfq(bits, group_size=3)
+        assert result.sharing_histogram() == {1: 2, 2: 1, 3: 1}
+
+    def test_sharing_degree_from_histogram(self):
+        bits = np.asarray([[0b11], [0b1]], dtype=np.uint64)
+        result = generate_jfq(bits, group_size=2)
+        # (2 + 1) / 2 frontiers
+        assert result.sharing_degree() == pytest.approx(1.5)
+
+    def test_multi_lane_ballots(self):
+        bits = np.zeros((3, 2), dtype=np.uint64)
+        bits[0, 0] = 1          # instance 0
+        bits[0, 1] = 1          # instance 64
+        bits[2, 1] = 0b10       # instance 65
+        result = generate_jfq(bits, group_size=66)
+        assert result.queue.tolist() == [0, 2]
+        assert result.share_counts().tolist() == [2, 1]
+
+
+class TestIdentificationHelpers:
+    def test_top_down_xor(self):
+        prev = np.asarray([[0b001], [0b011]], dtype=np.uint64)
+        cur = np.asarray([[0b011], [0b011]], dtype=np.uint64)
+        mask = full_mask(2)
+        bits = frontier_bits_top_down(prev, cur, mask)
+        assert bits[:, 0].tolist() == [0b010, 0]
+
+    def test_bottom_up_not(self):
+        cur = np.asarray([[0b01], [0b11]], dtype=np.uint64)
+        mask = full_mask(2)
+        bits = frontier_bits_bottom_up(cur, mask)
+        assert bits[:, 0].tolist() == [0b10, 0]
+
+    def test_mask_restricts_instances(self):
+        cur = np.zeros((1, 1), dtype=np.uint64)
+        mask = np.asarray([0b01], dtype=np.uint64)  # only instance 0 live
+        bits = frontier_bits_bottom_up(cur, mask)
+        assert bits[0, 0] == 0b01
+
+
+class TestEngineConsistency:
+    def test_ballot_sharing_matches_observer(self):
+        """The per-level SD computed from ballots equals the engines'
+        queue-size-based SD on a real traversal level."""
+        from repro.graph.generators import kronecker
+        from repro.bfs.reference import reference_bfs_multi
+
+        graph = kronecker(scale=6, edge_factor=6, seed=211)
+        sources = [0, 1, 2, 3]
+        depths = reference_bfs_multi(graph, sources)
+        level = 1
+        bits = np.zeros((graph.num_vertices, 1), dtype=np.uint64)
+        for j in range(len(sources)):
+            frontier = depths[j] == level
+            bits[frontier, 0] |= np.uint64(1) << np.uint64(j)
+        result = generate_jfq(bits, group_size=len(sources))
+        fq_total = int(np.count_nonzero(depths == level))
+        expected_sd = fq_total / result.size if result.size else 0.0
+        assert result.sharing_degree() == pytest.approx(expected_sd)

@@ -1,0 +1,123 @@
+"""Synthetic graph generators: determinism, shape, and degree structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    complete,
+    erdos_renyi,
+    kronecker,
+    path,
+    rmat,
+    scale_free,
+    small_world,
+    star,
+    uniform_random,
+)
+from repro.graph.properties import gini_coefficient
+
+
+class TestKronecker:
+    def test_vertex_count_is_power_of_two(self):
+        g = kronecker(scale=8, edge_factor=4, seed=1)
+        assert g.num_vertices == 256
+
+    def test_edge_count(self):
+        g = kronecker(scale=8, edge_factor=4, seed=1, undirected=False)
+        assert g.num_edges == 256 * 4
+        g2 = kronecker(scale=8, edge_factor=4, seed=1, undirected=True)
+        assert g2.num_edges == 2 * 256 * 4
+
+    def test_deterministic_given_seed(self):
+        assert kronecker(7, 4, seed=9) == kronecker(7, 4, seed=9)
+
+    def test_different_seeds_differ(self):
+        assert kronecker(7, 4, seed=1) != kronecker(7, 4, seed=2)
+
+    def test_power_law_skew(self):
+        g = kronecker(scale=10, edge_factor=8, seed=1)
+        assert gini_coefficient(g) > 0.3
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(GraphError):
+            kronecker(-1)
+
+    def test_invalid_initiator_rejected(self):
+        with pytest.raises(GraphError):
+            kronecker(5, abc=(0.9, 0.9, 0.9))
+
+
+class TestUniformRandom:
+    def test_exact_out_degree_before_symmetrization(self):
+        g = uniform_random(100, 6, seed=1, undirected=False)
+        assert g.out_degrees().tolist() == [6] * 100
+
+    def test_uniformity(self):
+        g = uniform_random(500, 8, seed=1)
+        assert gini_coefficient(g) < 0.2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            uniform_random(0, 4)
+        with pytest.raises(GraphError):
+            uniform_random(10, -1)
+
+
+class TestRmatAndClassics:
+    def test_rmat_is_kronecker_with_different_initiator(self):
+        g = rmat(8, 4, seed=3)
+        assert g.num_vertices == 256
+        assert g.num_edges > 0
+
+    def test_erdos_renyi_probability_bounds(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(10, 1.5)
+
+    def test_erdos_renyi_zero_probability(self):
+        g = erdos_renyi(50, 0.0, seed=1)
+        assert g.num_edges == 0
+
+    def test_small_world_parameters(self):
+        with pytest.raises(GraphError):
+            small_world(10, k=3)
+        with pytest.raises(GraphError):
+            small_world(4, k=4)
+
+    def test_small_world_is_symmetric(self):
+        assert small_world(60, 4, 0.1, seed=2).is_symmetric()
+
+    def test_scale_free_has_hubs(self):
+        g = scale_free(200, 3, seed=1)
+        assert g.out_degrees().max() > 5 * np.median(g.out_degrees())
+
+    def test_scale_free_parameters(self):
+        with pytest.raises(GraphError):
+            scale_free(3, attach=5)
+        with pytest.raises(GraphError):
+            scale_free(10, attach=0)
+
+    def test_star_shape(self):
+        g = star(10)
+        assert g.num_vertices == 11
+        assert g.out_degree(0) == 10
+        assert g.out_degree(5) == 1
+
+    def test_path_shape(self):
+        g = path(5)
+        assert g.num_edges == 8  # 4 undirected edges
+        assert g.out_degree(0) == 1
+        assert g.out_degree(2) == 2
+
+    def test_complete_shape(self):
+        g = complete(6)
+        assert g.num_edges == 30
+        assert all(g.out_degree(v) == 5 for v in range(6))
+
+    def test_classic_generators_reject_bad_sizes(self):
+        with pytest.raises(GraphError):
+            path(0)
+        with pytest.raises(GraphError):
+            complete(0)
+        with pytest.raises(GraphError):
+            star(-1)

@@ -1,0 +1,129 @@
+"""Golden regression tests on simulated counters.
+
+The cost model's *shapes* are asserted elsewhere; these tests pin the
+exact deterministic counter values for one fixed workload so that
+accidental changes to the accounting (a lost transaction term, a
+doubled instruction count) are caught immediately.  If a deliberate
+model change lands, regenerate the constants with the printed actuals.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import kronecker
+from repro.bfs.sequential import SequentialConcurrentBFS
+from repro.core.engine import IBFS, IBFSConfig
+
+#: Fixed workload: one graph, one source set.
+GRAPH_SEED = 171
+SOURCES = list(range(0, 32, 2))
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return kronecker(scale=7, edge_factor=8, seed=GRAPH_SEED)
+
+
+@pytest.fixture(scope="module")
+def sequential(graph):
+    return SequentialConcurrentBFS(graph).run(SOURCES, store_depths=False)
+
+
+@pytest.fixture(scope="module")
+def ibfs(graph):
+    return IBFS(graph, IBFSConfig(group_size=16, groupby=False, seed=1)).run(
+        SOURCES, store_depths=False
+    )
+
+
+class TestWorkloadInvariants:
+    """Determinism and cross-engine conservation laws."""
+
+    def test_runs_are_deterministic(self, graph, ibfs):
+        again = IBFS(
+            graph, IBFSConfig(group_size=16, groupby=False, seed=1)
+        ).run(SOURCES, store_depths=False)
+        assert again.seconds == ibfs.seconds
+        assert (
+            again.counters.global_load_transactions
+            == ibfs.counters.global_load_transactions
+        )
+        assert again.counters.inspections == ibfs.counters.inspections
+
+    def test_bitwise_physical_work_below_sequential(self, sequential, ibfs):
+        assert ibfs.counters.inspections < sequential.counters.inspections
+        assert (
+            ibfs.counters.global_load_transactions
+            < sequential.counters.global_load_transactions
+        )
+
+    def test_logical_edges_bounded(self, graph, sequential, ibfs):
+        # Early termination can only reduce logical traversed edges.
+        assert 0 < ibfs.counters.edges_traversed <= (
+            sequential.counters.edges_traversed
+        )
+        # And both stay below the trivial bound of i * 2|E|.
+        bound = len(SOURCES) * 2 * graph.num_edges
+        assert sequential.counters.edges_traversed <= bound
+
+    def test_requests_dominate_transactions_sanity(self, ibfs):
+        c = ibfs.counters
+        assert c.global_load_requests > 0
+        assert c.global_store_requests > 0
+        # Perfect coalescing floor: at least one transaction per 128 B
+        # of distinct traffic means lpr can be < 1 only if a request
+        # covers several... it cannot: txns >= requests is false in
+        # general, but lpr must be positive and finite.
+        assert 0 < c.loads_per_request < 64
+
+
+class TestGoldenValues:
+    """Exact pinned values for the fixed workload (regenerate on
+    deliberate cost-model changes)."""
+
+    def test_sequential_counters(self, sequential):
+        c = sequential.counters
+        actual = {
+            "levels": c.levels,
+            "inspections": c.inspections,
+            "edges": c.edges_traversed,
+            "loads": c.global_load_transactions,
+            "stores": c.global_store_transactions,
+            "enqueues": c.frontier_enqueues,
+            "kernels": c.kernel_launches,
+        }
+        expected = {
+            "levels": 69,
+            "inspections": 7329,
+            "edges": 7329,
+            "loads": 3280,
+            "stores": 440,
+            "enqueues": 2739,
+            "kernels": 16,
+        }
+        assert actual == expected, f"actuals: {actual}"
+
+    def test_ibfs_counters(self, ibfs):
+        c = ibfs.counters
+        actual = {
+            "levels": c.levels,
+            "inspections": c.inspections,
+            "edges": c.edges_traversed,
+            "loads": c.global_load_transactions,
+            "stores": c.global_store_transactions,
+            "early": c.early_terminations,
+            "atomics": c.atomic_operations,
+        }
+        assert actual == _IBFS_GOLDEN, f"actuals: {actual}"
+
+
+#: Populated from a verified run; see module docstring.
+_IBFS_GOLDEN = {
+    "levels": 5,
+    "inspections": 1981,
+    "edges": 7329,
+    "loads": 785,
+    "stores": 62,
+    "early": 105,
+    "atomics": 127,
+}

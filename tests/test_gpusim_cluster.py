@@ -1,0 +1,73 @@
+"""Multi-device scheduling and the scaling result."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.cluster import Cluster, schedule_lpt, schedule_round_robin
+
+
+class TestSchedulers:
+    def test_round_robin_assignment(self):
+        assert schedule_round_robin([1, 1, 1, 1, 1], 2).tolist() == [0, 1, 0, 1, 0]
+
+    def test_round_robin_invalid_device_count(self):
+        with pytest.raises(SimulationError):
+            schedule_round_robin([1.0], 0)
+
+    def test_lpt_balances_better_than_round_robin(self):
+        durations = [10.0, 1.0, 1.0, 1.0, 9.0, 1.0, 1.0, 1.0]
+        lpt = Cluster(2, scheduler=schedule_lpt).run(durations)
+        rr = Cluster(2, scheduler=schedule_round_robin).run(durations)
+        assert lpt.makespan <= rr.makespan
+
+    def test_lpt_perfect_split(self):
+        result = Cluster(2, scheduler=schedule_lpt).run([4.0, 3.0, 3.0, 2.0])
+        assert result.makespan == pytest.approx(6.0)
+
+
+class TestCluster:
+    def test_needs_at_least_one_device(self):
+        with pytest.raises(SimulationError):
+            Cluster(0)
+
+    def test_negative_durations_rejected(self):
+        with pytest.raises(SimulationError):
+            Cluster(2).run([1.0, -1.0])
+
+    def test_empty_work(self):
+        result = Cluster(4).run([])
+        assert result.makespan == 0.0
+        assert result.total_work == 0.0
+
+    def test_makespan_is_max_device_time(self):
+        result = Cluster(3).run([5.0, 1.0, 1.0])
+        assert result.makespan == result.device_times.max()
+        assert result.total_work == pytest.approx(7.0)
+
+    def test_work_conservation(self):
+        durations = np.linspace(0.5, 3.0, 17)
+        result = Cluster(5).run(durations)
+        assert result.total_work == pytest.approx(float(durations.sum()))
+
+    def test_imbalance_one_when_balanced(self):
+        result = Cluster(2).run([1.0, 1.0])
+        assert result.imbalance == pytest.approx(1.0)
+
+
+class TestSpeedupCurve:
+    def test_near_linear_with_many_units(self):
+        rng = np.random.default_rng(1)
+        durations = rng.uniform(0.9, 1.1, size=512)
+        curve = Cluster(1).speedup_curve(durations, [1, 2, 4, 8])
+        assert curve[0] == pytest.approx(1.0)
+        assert curve[1] == pytest.approx(2.0, rel=0.05)
+        assert curve[3] == pytest.approx(8.0, rel=0.10)
+
+    def test_imbalance_emerges_at_high_device_counts(self):
+        # Heavy-tailed group times limit scaling (the paper's figure 17).
+        rng = np.random.default_rng(2)
+        durations = rng.pareto(1.5, size=128) + 0.1
+        curve = Cluster(1).speedup_curve(durations, [1, 64, 128])
+        assert curve[2] < 128  # sublinear by then
+        assert curve[1] <= 64

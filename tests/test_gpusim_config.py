@@ -1,0 +1,77 @@
+"""Device configuration presets and validation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.config import KEPLER_K20, KEPLER_K40, XEON_CPU, DeviceConfig
+
+
+def test_k40_preset_matches_paper_hardware():
+    assert KEPLER_K40.cores == 2880
+    assert KEPLER_K40.global_memory_bytes == 12 * 1024**3
+    assert KEPLER_K40.warp_size == 32
+    assert KEPLER_K40.is_gpu
+
+
+def test_k20_is_smaller_than_k40():
+    assert KEPLER_K20.cores < KEPLER_K40.cores
+    assert KEPLER_K20.global_memory_bytes < KEPLER_K40.global_memory_bytes
+    assert KEPLER_K20.memory_bandwidth < KEPLER_K40.memory_bandwidth
+
+
+def test_cpu_preset_differs_in_kind():
+    assert not XEON_CPU.is_gpu
+    assert XEON_CPU.warp_size == 1
+    assert XEON_CPU.context_switch_overhead_s > 0
+    assert XEON_CPU.max_resident_threads < KEPLER_K40.max_resident_threads
+
+
+def test_entries_per_transaction():
+    assert KEPLER_K40.entries_per_transaction == 16  # 128 B / 8 B entries
+
+
+def test_with_memory_returns_modified_copy():
+    small = KEPLER_K40.with_memory(1024)
+    assert small.global_memory_bytes == 1024
+    assert small.cores == KEPLER_K40.cores
+    assert KEPLER_K40.global_memory_bytes == 12 * 1024**3
+
+
+def _cfg(**overrides):
+    base = dict(
+        name="test",
+        is_gpu=True,
+        num_sms=1,
+        cores=32,
+        clock_hz=1e9,
+        warp_size=32,
+        cta_size=128,
+        max_resident_threads=1024,
+        global_memory_bytes=1 << 30,
+        memory_bandwidth=1e11,
+        memory_latency_s=1e-7,
+        transaction_bytes=128,
+        instruction_throughput=1e12,
+        atomic_throughput=1e10,
+        kernel_launch_overhead_s=1e-7,
+        level_sync_overhead_s=1e-8,
+        hyperq_queues=4,
+        context_switch_overhead_s=0.0,
+    )
+    base.update(overrides)
+    return DeviceConfig(**base)
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("warp_size", 0),
+        ("transaction_bytes", -1),
+        ("memory_bandwidth", 0.0),
+        ("clock_hz", -1.0),
+        ("max_resident_threads", 0),
+    ],
+)
+def test_invalid_configs_rejected(field, value):
+    with pytest.raises(SimulationError):
+        _cfg(**{field: value})

@@ -1,0 +1,55 @@
+"""Profiler counters and per-level records."""
+
+from repro.gpusim.counters import LevelRecord, ProfilerCounters, RunRecord
+
+
+def test_counters_start_at_zero():
+    c = ProfilerCounters()
+    assert c.global_load_transactions == 0
+    assert c.loads_per_request == 0.0
+    assert c.stores_per_request == 0.0
+
+
+def test_merge_adds_all_fields():
+    a = ProfilerCounters(global_load_transactions=3, inspections=5)
+    b = ProfilerCounters(global_load_transactions=2, atomic_operations=7)
+    a.merge(b)
+    assert a.global_load_transactions == 5
+    assert a.inspections == 5
+    assert a.atomic_operations == 7
+
+
+def test_add_operator_returns_new_object():
+    a = ProfilerCounters(levels=1)
+    b = ProfilerCounters(levels=2)
+    c = a + b
+    assert c.levels == 3
+    assert a.levels == 1
+    assert b.levels == 2
+
+
+def test_loads_per_request():
+    c = ProfilerCounters(global_load_transactions=8, global_load_requests=2)
+    assert c.loads_per_request == 4.0
+
+
+def test_snapshot_is_independent():
+    a = ProfilerCounters(levels=1)
+    snap = a.snapshot()
+    a.levels = 10
+    assert snap.levels == 1
+
+
+def test_level_record_transaction_total():
+    record = LevelRecord(
+        depth=0, direction="td", load_transactions=3, store_transactions=4
+    )
+    assert record.transaction_total == 7
+
+
+def test_run_record_accumulates_levels():
+    run = RunRecord()
+    run.append(LevelRecord(depth=0, direction="td", load_transactions=1))
+    run.append(LevelRecord(depth=1, direction="bu", store_transactions=2))
+    assert len(run.levels) == 2
+    assert run.total_transactions == 3

@@ -1,0 +1,130 @@
+"""Cost model: level pricing, kernel time, and Hyper-Q overlap."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.config import KEPLER_K40, XEON_CPU
+from repro.gpusim.counters import LevelRecord
+from repro.gpusim.timing import CostModel, teps
+
+
+@pytest.fixture
+def cost():
+    return CostModel(KEPLER_K40)
+
+
+def _level(loads=0, stores=0, atomics=0, instructions=0, threads=0):
+    return LevelRecord(
+        depth=0,
+        direction="td",
+        load_transactions=loads,
+        store_transactions=stores,
+        atomics=atomics,
+        instructions=instructions,
+        threads=threads,
+    )
+
+
+class TestLevelTime:
+    def test_bandwidth_bound(self, cost):
+        level = _level(loads=1_000_000)
+        expected = 1_000_000 * 128 / KEPLER_K40.memory_bandwidth
+        assert cost.level_time(level) == pytest.approx(
+            expected + KEPLER_K40.level_sync_overhead_s
+        )
+
+    def test_compute_bound(self, cost):
+        level = _level(loads=1, instructions=10**10)
+        expected = 10**10 / KEPLER_K40.instruction_throughput
+        assert cost.level_time(level) == pytest.approx(
+            expected + KEPLER_K40.level_sync_overhead_s
+        )
+
+    def test_atomic_bound(self, cost):
+        level = _level(atomics=10**10)
+        assert cost.level_time(level) >= 10**10 / KEPLER_K40.atomic_throughput
+
+    def test_latency_floor_applies_with_any_traffic(self, cost):
+        level = _level(loads=1)
+        assert cost.level_time(level) >= KEPLER_K40.memory_latency_s
+
+    def test_empty_level_costs_only_sync(self, cost):
+        assert cost.level_time(_level()) == pytest.approx(
+            KEPLER_K40.level_sync_overhead_s
+        )
+
+    def test_oversubscription_scales_compute(self, cost):
+        level = _level(instructions=10**10)
+        slow = cost.level_time(level, oversubscription=2.0)
+        fast = cost.level_time(level, oversubscription=1.0)
+        assert slow == pytest.approx(2 * fast - KEPLER_K40.level_sync_overhead_s)
+
+    def test_invalid_oversubscription(self, cost):
+        with pytest.raises(SimulationError):
+            cost.level_time(_level(), oversubscription=0.5)
+
+    def test_cpu_pays_context_switches(self):
+        cpu = CostModel(XEON_CPU)
+        quiet = cpu.level_time(_level(loads=1))
+        busy = cpu.level_time(_level(loads=1, threads=16))
+        assert busy > quiet
+
+
+class TestKernelTime:
+    def test_includes_launch_overhead(self, cost):
+        assert cost.kernel_time([]) == KEPLER_K40.kernel_launch_overhead_s
+
+    def test_sums_levels(self, cost):
+        levels = [_level(loads=100), _level(loads=200)]
+        total = cost.kernel_time(levels)
+        assert total == pytest.approx(
+            KEPLER_K40.kernel_launch_overhead_s
+            + cost.level_time(levels[0])
+            + cost.level_time(levels[1])
+        )
+
+    def test_serial_time_adds_kernels(self, cost):
+        runs = [[_level(loads=100)], [_level(loads=100)]]
+        assert cost.serial_time(runs) == pytest.approx(
+            2 * cost.kernel_time(runs[0])
+        )
+
+
+class TestOverlap:
+    def test_empty(self, cost):
+        assert cost.overlapped_time([]) == 0.0
+
+    def test_memory_bound_kernels_do_not_speed_up(self, cost):
+        # Two bandwidth-bound kernels sharing the bus take as long
+        # overlapped as sequentially (minus overheads): the naive
+        # concurrent-BFS observation.
+        kernel = [_level(loads=10**6), _level(loads=10**6)]
+        seq = cost.serial_time([kernel, kernel])
+        overlapped = cost.overlapped_time([kernel, kernel])
+        assert overlapped == pytest.approx(seq, rel=0.05)
+
+    def test_launch_overheads_overlap(self, cost):
+        kernels = [[_level(loads=10)] for _ in range(32)]
+        overlapped = cost.overlapped_time(kernels)
+        # 32 kernels fit one Hyper-Q wave: one launch overhead, not 32.
+        assert overlapped < cost.serial_time(kernels)
+
+    def test_thread_oversubscription_penalizes(self, cost):
+        light = [[_level(instructions=10**8, threads=1000)] for _ in range(4)]
+        heavy = [
+            [_level(instructions=10**8, threads=KEPLER_K40.max_resident_threads)]
+            for _ in range(4)
+        ]
+        assert cost.overlapped_time(heavy) > cost.overlapped_time(light)
+
+    def test_different_kernel_lengths(self, cost):
+        kernels = [[_level(loads=10)], [_level(loads=10), _level(loads=10)]]
+        assert cost.overlapped_time(kernels) > 0
+
+
+class TestTeps:
+    def test_basic(self):
+        assert teps(100, 2.0) == 50.0
+
+    def test_zero_time(self):
+        assert teps(100, 0.0) == 0.0

@@ -1,0 +1,52 @@
+"""Warp vote / ballot / popcount emulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.warp import popcount, warp_any, warp_ballot
+
+
+class TestAny:
+    def test_rows(self):
+        preds = np.asarray([[False, False], [True, False], [True, True]])
+        assert warp_any(preds).tolist() == [False, True, True]
+
+    def test_one_dimensional_input(self):
+        assert warp_any(np.asarray([False, True])).tolist() == [True]
+        assert warp_any(np.asarray([False, False])).tolist() == [False]
+
+
+class TestBallot:
+    def test_bit_positions(self):
+        preds = np.asarray([[True, False, True, True]])
+        assert warp_ballot(preds).tolist() == [0b1101]
+
+    def test_multiple_rows(self):
+        preds = np.asarray([[True, False], [False, True]])
+        assert warp_ballot(preds).tolist() == [1, 2]
+
+    def test_one_dimensional(self):
+        assert warp_ballot(np.asarray([True, True])).tolist() == [3]
+
+    def test_full_64_bits(self):
+        preds = np.ones((1, 64), dtype=bool)
+        assert warp_ballot(preds)[0] == np.uint64(0xFFFFFFFFFFFFFFFF)
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(SimulationError, match="exceeds 64"):
+            warp_ballot(np.ones((1, 65), dtype=bool))
+
+
+class TestPopcount:
+    def test_known_values(self):
+        words = np.asarray([0, 1, 3, 0xFF, 0xFFFFFFFFFFFFFFFF], dtype=np.uint64)
+        assert popcount(words).tolist() == [0, 1, 2, 8, 64]
+
+    def test_matches_ballot_width(self):
+        preds = np.asarray([[True, True, False, True]])
+        assert popcount(warp_ballot(preds)).tolist() == [3]
+
+    def test_matrix_input(self):
+        words = np.asarray([[1, 3], [7, 0]], dtype=np.uint64)
+        assert popcount(words).tolist() == [[1, 2], [3, 0]]

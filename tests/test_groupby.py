@@ -1,0 +1,115 @@
+"""GroupBy rules: partitioning invariants and sharing improvement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GroupingError
+from repro.graph.builders import from_edges
+from repro.graph.generators import kronecker, scale_free, star, uniform_random
+from repro.core.engine import IBFS, IBFSConfig
+from repro.core.groupby import (
+    DEFAULT_Q,
+    GroupByConfig,
+    group_sources,
+    random_groups,
+)
+
+
+def _is_partition(groups, sources):
+    flat = [s for g in groups for s in g]
+    return sorted(flat) == sorted(sources)
+
+
+class TestRandomGroups:
+    def test_partition(self):
+        groups = random_groups(range(10), 3, seed=1)
+        assert _is_partition(groups, list(range(10)))
+        assert max(len(g) for g in groups) == 3
+
+    def test_deterministic(self):
+        assert random_groups(range(10), 3, seed=1) == random_groups(
+            range(10), 3, seed=1
+        )
+
+    def test_invalid_group_size(self):
+        with pytest.raises(GroupingError):
+            random_groups(range(4), 0)
+
+    def test_duplicate_sources_rejected(self):
+        with pytest.raises(GroupingError):
+            random_groups([1, 1, 2], 2)
+
+
+class TestGroupByConfig:
+    def test_defaults(self):
+        config = GroupByConfig()
+        assert config.q == DEFAULT_Q
+        assert config.p_sequence == (4, 16, 64, 128)
+
+    def test_descending_p_rejected(self):
+        with pytest.raises(GroupingError):
+            GroupByConfig(p_sequence=(16, 4))
+
+    def test_negative_q_rejected(self):
+        with pytest.raises(GroupingError):
+            GroupByConfig(q=-1)
+
+    def test_empty_p_rejected(self):
+        with pytest.raises(GroupingError):
+            GroupByConfig(p_sequence=())
+
+
+class TestGroupSources:
+    @pytest.fixture(scope="class")
+    def kron(self):
+        return kronecker(scale=9, edge_factor=8, seed=6)
+
+    def test_partition_property(self, kron):
+        sources = list(range(0, 128, 2))
+        groups = group_sources(kron, sources, 16)
+        assert _is_partition(groups, sources)
+        assert all(len(g) <= 16 for g in groups)
+
+    def test_out_of_range_source_rejected(self, kron):
+        with pytest.raises(GroupingError):
+            group_sources(kron, [kron.num_vertices], 4)
+
+    def test_duplicates_rejected(self, kron):
+        with pytest.raises(GroupingError):
+            group_sources(kron, [0, 0], 4)
+
+    def test_invalid_group_size(self, kron):
+        with pytest.raises(GroupingError):
+            group_sources(kron, [0, 1], 0)
+
+    def test_star_leaves_share_the_hub(self):
+        # All leaves connect to the hub (outdegree = leaves count), so
+        # Rule 2 puts leaf sources into the same bucket.
+        g = star(200)
+        leaves = list(range(1, 33))
+        groups = group_sources(g, leaves, 8, GroupByConfig(q=100))
+        assert _is_partition(groups, leaves)
+        assert all(len(g_) == 8 for g_ in groups)
+
+    def test_uniform_graph_falls_back_gracefully(self):
+        g = uniform_random(256, 4, seed=7)
+        sources = list(range(0, 64))
+        groups = group_sources(g, sources, 16)
+        assert _is_partition(groups, sources)
+
+    def test_isolated_sources_grouped_randomly(self):
+        g = from_edges([(0, 1)], num_vertices=8, undirected=True)
+        groups = group_sources(g, list(range(8)), 4)
+        assert _is_partition(groups, list(range(8)))
+
+    def test_groupby_raises_sharing_on_power_law(self):
+        """The headline claim of section 5: GroupBy groups share more."""
+        g = scale_free(600, 4, seed=8)
+        sources = list(range(0, 256))
+        grouped = IBFS(
+            g, IBFSConfig(group_size=32, groupby=True)
+        ).run(sources, store_depths=False)
+        randomized = IBFS(
+            g, IBFSConfig(group_size=32, groupby=False, seed=13)
+        ).run(sources, store_depths=False)
+        assert grouped.sharing_degree >= randomized.sharing_degree

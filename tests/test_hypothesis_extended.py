@@ -1,0 +1,124 @@
+"""Property-based tests over the extension modules.
+
+Covers the oracle-free BFS validator, weighted shortest paths, the
+connected-components app, and trace export — all on
+hypothesis-generated random graphs.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builders import from_edge_arrays
+from repro.graph.csr import VERTEX_DTYPE
+from repro.graph.properties import connected_components
+from repro.graph.weighted import WeightedCSRGraph
+from repro.bfs.reference import reference_bfs
+from repro.bfs.sssp import DeltaStepping, bellman_ford, dijkstra
+from repro.bfs.validate import is_valid_bfs, validate_depths
+from repro.core.engine import IBFS, IBFSConfig
+from repro.apps.components import connected_components_concurrent
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def random_graphs(draw, max_vertices=30, max_edges=90):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return from_edge_arrays(
+        np.asarray(src, dtype=VERTEX_DTYPE),
+        np.asarray(dst, dtype=VERTEX_DTYPE),
+        num_vertices=n,
+        undirected=draw(st.booleans()),
+    )
+
+
+@st.composite
+def weighted_graphs(draw):
+    graph = draw(random_graphs())
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+            min_size=graph.num_edges,
+            max_size=graph.num_edges,
+        )
+    )
+    return WeightedCSRGraph(graph, np.asarray(weights))
+
+
+@SETTINGS
+@given(random_graphs(), st.integers(0, 10**6))
+def test_engine_output_passes_local_validation(graph, seed):
+    source = seed % graph.num_vertices
+    result = IBFS(graph, IBFSConfig(group_size=4)).run([source])
+    validate_depths(graph, source, result.depth_row(source))
+
+
+@SETTINGS
+@given(random_graphs(), st.integers(0, 10**6))
+def test_reference_passes_and_corruption_fails(graph, seed):
+    source = seed % graph.num_vertices
+    depths = reference_bfs(graph, source)
+    assert is_valid_bfs(graph, source, depths)
+    reached = np.flatnonzero(depths >= 1)
+    if reached.size:
+        corrupted = depths.copy()
+        corrupted[reached[0]] = int(depths.max()) + 2
+        assert not is_valid_bfs(graph, source, corrupted)
+
+
+@SETTINGS
+@given(weighted_graphs(), st.integers(0, 10**6))
+def test_sssp_engines_agree(wgraph, seed):
+    source = seed % wgraph.num_vertices
+    exact = dijkstra(wgraph, source)
+    assert np.allclose(bellman_ford(wgraph, source), exact, equal_nan=True)
+    stepped = DeltaStepping(wgraph).run(source)
+    assert np.allclose(stepped.distances, exact, equal_nan=True)
+
+
+@SETTINGS
+@given(weighted_graphs(), st.integers(0, 10**6))
+def test_sssp_distances_bounded_by_hops_times_max_weight(wgraph, seed):
+    """d(v) <= BFS_depth(v) * max_weight — the triangle-count bound."""
+    source = seed % wgraph.num_vertices
+    dist = dijkstra(wgraph, source)
+    hops = reference_bfs(wgraph.graph, source)
+    max_w = wgraph.weights.max() if wgraph.num_edges else 0.0
+    reached = hops >= 0
+    assert np.all(dist[reached] <= hops[reached] * max_w + 1e-9)
+    assert np.all(np.isinf(dist[~reached]))
+
+
+@SETTINGS
+@given(random_graphs())
+def test_concurrent_components_match_sequential(graph):
+    expected = connected_components(graph)
+    got = connected_components_concurrent(graph, batch_size=4)
+    assert np.array_equal(got, expected)
+
+
+@SETTINGS
+@given(random_graphs(), st.integers(0, 10**6))
+def test_depth_monotone_under_edge_addition(graph, seed):
+    """Adding an edge never increases any BFS depth."""
+    rng = np.random.default_rng(seed)
+    source = int(rng.integers(graph.num_vertices))
+    before = reference_bfs(graph, source)
+    u = int(rng.integers(graph.num_vertices))
+    v = int(rng.integers(graph.num_vertices))
+    src, dst = graph.edge_array()
+    bigger = from_edge_arrays(
+        np.append(src, u), np.append(dst, v), num_vertices=graph.num_vertices
+    )
+    after = reference_bfs(bigger, source)
+    reached_before = before >= 0
+    assert np.all(after[reached_before] <= before[reached_before])
+    assert np.all(after[reached_before] >= 0)

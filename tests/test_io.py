@@ -1,0 +1,96 @@
+"""Graph serialization round trips and format error handling."""
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.builders import from_edges
+from repro.graph.generators import kronecker
+from repro.graph.io import (
+    load_csr,
+    read_dimacs,
+    read_edge_list,
+    save_csr,
+    write_dimacs,
+    write_edge_list,
+)
+
+
+@pytest.fixture
+def sample_graph():
+    return from_edges([(0, 1), (1, 2), (2, 0), (2, 2)], num_vertices=4)
+
+
+class TestEdgeList:
+    def test_round_trip(self, sample_graph, tmp_path):
+        target = tmp_path / "g.el"
+        write_edge_list(sample_graph, target)
+        assert read_edge_list(target) == sample_graph
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        target = tmp_path / "g.el"
+        target.write_text("# header\n\n0 1\n# mid comment\n1 2\n")
+        g = read_edge_list(target)
+        assert g.num_edges == 2
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        target = tmp_path / "bad.el"
+        target.write_text("0 1\njust-one-token\n")
+        with pytest.raises(GraphFormatError, match="bad.el:2"):
+            read_edge_list(target)
+
+    def test_non_integer_ids_rejected(self, tmp_path):
+        target = tmp_path / "bad.el"
+        target.write_text("a b\n")
+        with pytest.raises(GraphFormatError, match="non-integer"):
+            read_edge_list(target)
+
+    def test_undirected_flag(self, tmp_path):
+        target = tmp_path / "g.el"
+        target.write_text("0 1\n")
+        g = read_edge_list(target, undirected=True)
+        assert g.num_edges == 2
+
+
+class TestDimacs:
+    def test_round_trip(self, sample_graph, tmp_path):
+        target = tmp_path / "g.gr"
+        write_dimacs(sample_graph, target)
+        assert read_dimacs(target) == sample_graph
+
+    def test_missing_problem_line(self, tmp_path):
+        target = tmp_path / "bad.gr"
+        target.write_text("c comment only\n")
+        with pytest.raises(GraphFormatError, match="missing problem line"):
+            read_dimacs(target)
+
+    def test_arc_before_problem_line(self, tmp_path):
+        target = tmp_path / "bad.gr"
+        target.write_text("a 1 2\n")
+        with pytest.raises(GraphFormatError, match="before problem"):
+            read_dimacs(target)
+
+    def test_unknown_line_type(self, tmp_path):
+        target = tmp_path / "bad.gr"
+        target.write_text("p sp 2 1\nx 1 2\n")
+        with pytest.raises(GraphFormatError, match="unrecognized"):
+            read_dimacs(target)
+
+    def test_one_based_ids_shifted(self, tmp_path):
+        target = tmp_path / "g.gr"
+        target.write_text("p sp 3 1\na 1 3\n")
+        g = read_dimacs(target)
+        assert g.has_edge(0, 2)
+
+
+class TestBinaryCSR:
+    def test_round_trip(self, tmp_path):
+        g = kronecker(scale=7, edge_factor=4, seed=11)
+        target = tmp_path / "g.csr"
+        save_csr(g, target)
+        assert load_csr(target) == g
+
+    def test_bad_magic_rejected(self, tmp_path):
+        target = tmp_path / "not.csr"
+        target.write_bytes(b"GARBAGE!" * 4)
+        with pytest.raises(GraphFormatError, match="not a repro CSR"):
+            load_csr(target)

@@ -1,0 +1,115 @@
+"""Weighted DIMACS I/O, the 2-D grid generator, and result export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, GraphFormatError
+from repro.graph.generators import grid_2d, kronecker
+from repro.graph.io import read_weighted_dimacs, write_weighted_dimacs
+from repro.graph.weighted import from_weighted_edges, with_random_weights
+from repro.bfs.reference import reference_bfs
+from repro.bfs.sssp import dijkstra
+from repro.core.engine import IBFS, IBFSConfig
+
+
+class TestWeightedDimacs:
+    def test_round_trip(self, tmp_path):
+        g = from_weighted_edges(
+            [(0, 1, 2.5), (1, 2, 0.5), (2, 0, 7.0)], num_vertices=4
+        )
+        target = tmp_path / "w.gr"
+        write_weighted_dimacs(g, target)
+        back = read_weighted_dimacs(target)
+        assert back.graph == g.graph
+        assert np.allclose(back.weights, g.weights)
+
+    def test_round_trip_preserves_distances(self, tmp_path):
+        topo = kronecker(scale=6, edge_factor=4, seed=131)
+        g = with_random_weights(topo, seed=132)
+        target = tmp_path / "w.gr"
+        write_weighted_dimacs(g, target)
+        back = read_weighted_dimacs(target)
+        source = int(topo.out_degrees().argmax())
+        assert np.allclose(
+            dijkstra(back, source), dijkstra(g, source), equal_nan=True
+        )
+
+    def test_missing_weight_defaults_to_one(self, tmp_path):
+        target = tmp_path / "w.gr"
+        target.write_text("p sp 2 1\na 1 2\n")
+        g = read_weighted_dimacs(target)
+        assert g.weights.tolist() == [1.0]
+
+    def test_malformed_file(self, tmp_path):
+        target = tmp_path / "bad.gr"
+        target.write_text("a 1 2 3\n")
+        with pytest.raises(GraphFormatError, match="before problem"):
+            read_weighted_dimacs(target)
+
+
+class TestGrid2D:
+    def test_shape_and_degrees(self):
+        g = grid_2d(3, 4)
+        assert g.num_vertices == 12
+        # Interior vertex has degree 4, corner 2.
+        assert g.out_degree(5) == 4
+        assert g.out_degree(0) == 2
+        assert g.num_edges == 2 * (3 * 3 + 2 * 4)
+
+    def test_bfs_depth_is_manhattan_distance(self):
+        rows, cols = 5, 7
+        g = grid_2d(rows, cols)
+        depths = reference_bfs(g, 0)
+        for r in range(rows):
+            for c in range(cols):
+                assert depths[r * cols + c] == r + c
+
+    def test_single_cell(self):
+        g = grid_2d(1, 1)
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+
+    def test_single_row(self):
+        g = grid_2d(1, 5)
+        assert reference_bfs(g, 0).tolist() == [0, 1, 2, 3, 4]
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(GraphError):
+            grid_2d(0, 3)
+
+    def test_engines_handle_high_diameter(self):
+        """Grids are the opposite regime from power-law graphs: long
+        level chains, flat degrees — engines must still be exact."""
+        g = grid_2d(8, 8)
+        sources = [0, 27, 63]
+        result = IBFS(g, IBFSConfig(group_size=4)).run(sources)
+        for s in sources:
+            assert np.array_equal(result.depth_row(s), reference_bfs(g, s))
+
+
+class TestResultExport:
+    def test_to_dict_round_trips_through_json(self):
+        g = kronecker(scale=6, edge_factor=4, seed=133)
+        result = IBFS(g, IBFSConfig(group_size=8)).run([0, 1, 2])
+        payload = json.loads(result.to_json())
+        assert payload["engine"] == result.engine
+        assert payload["sources"] == [0, 1, 2]
+        assert payload["summary"]["teps"] == pytest.approx(result.teps)
+        assert "depths" not in payload
+
+    def test_depths_included_on_request(self):
+        g = kronecker(scale=5, edge_factor=4, seed=134)
+        result = IBFS(g, IBFSConfig(group_size=4)).run([0, 1])
+        payload = result.to_dict(include_depths=True)
+        assert np.array_equal(np.asarray(payload["depths"]), result.depths)
+
+    def test_groups_serialized(self):
+        g = kronecker(scale=6, edge_factor=4, seed=135)
+        result = IBFS(g, IBFSConfig(group_size=2)).run([0, 1, 2, 3])
+        payload = result.to_dict()
+        assert len(payload["groups"]) == len(result.groups)
+        assert payload["groups"][0]["sharing_degree"] == pytest.approx(
+            result.groups[0].sharing_degree
+        )

@@ -1,0 +1,89 @@
+"""Joint traversal engine (JSA + JFQ, section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraversalError
+from repro.graph.builders import from_edges
+from repro.graph.generators import kronecker
+from repro.bfs.reference import reference_bfs_multi
+from repro.bfs.sequential import SequentialConcurrentBFS
+from repro.core.joint import JointTraversal
+
+
+@pytest.fixture(scope="module")
+def kron():
+    return kronecker(scale=8, edge_factor=8, seed=9)
+
+
+class TestCorrectness:
+    def test_matches_reference(self, kron):
+        sources = [0, 5, 17, 200]
+        depths, _, _ = JointTraversal(kron).run_group(sources)
+        assert np.array_equal(depths, reference_bfs_multi(kron, sources))
+
+    def test_single_instance_group(self, kron):
+        depths, _, _ = JointTraversal(kron).run_group([42])
+        assert np.array_equal(depths, reference_bfs_multi(kron, [42]))
+
+    def test_disconnected_instances_finish(self):
+        g = from_edges([(0, 1), (3, 4)], num_vertices=6, undirected=True)
+        depths, _, _ = JointTraversal(g).run_group([0, 3, 5])
+        assert np.array_equal(depths, reference_bfs_multi(g, [0, 3, 5]))
+
+    def test_empty_group_rejected(self, kron):
+        with pytest.raises(TraversalError):
+            JointTraversal(kron).run_group([])
+
+    def test_out_of_range_source_rejected(self, kron):
+        with pytest.raises(TraversalError):
+            JointTraversal(kron).run_group([kron.num_vertices])
+
+    def test_max_depth(self, kron):
+        depths, _, _ = JointTraversal(kron).run_group([0, 1], max_depth=2)
+        assert depths.max() <= 2
+
+
+class TestSharingAndStats:
+    def test_stats_fields_populated(self, kron):
+        sources = list(range(8))
+        _, record, stats = JointTraversal(kron).run_group(sources)
+        assert stats.sources == sources
+        assert stats.seconds > 0
+        assert stats.sharing_degree >= 1.0
+        assert 0 < stats.sharing_ratio <= 1.0
+        assert len(stats.jfq_sizes) == record.counters.levels
+        assert len(stats.bottom_up_inspections) == len(sources)
+
+    def test_identical_sources_would_fully_share(self, kron):
+        # Two nearby sources share most frontiers on a small-diameter
+        # power-law graph: SD must exceed the no-sharing value of 1.
+        hub = int(np.argmax(kron.out_degrees()))
+        neighbors = kron.neighbors(hub)[:2].tolist()
+        _, _, stats = JointTraversal(kron).run_group(neighbors)
+        assert stats.sharing_degree > 1.0
+
+    def test_workload_is_preserved(self, kron):
+        """Shared frontiers do not reduce the overall workload (section 2):
+        joint inspections equal the sum of per-instance inspections."""
+        sources = [0, 3, 9, 77]
+        seq = SequentialConcurrentBFS(kron).run(sources, store_depths=False)
+        _, record, _ = JointTraversal(kron).run_group(sources)
+        assert record.counters.inspections == seq.counters.inspections
+
+    def test_memory_traffic_lower_than_sequential(self, kron):
+        sources = list(range(16))
+        seq = SequentialConcurrentBFS(kron).run(sources, store_depths=False)
+        _, record, _ = JointTraversal(kron).run_group(sources)
+        assert (
+            record.counters.global_load_transactions
+            < seq.counters.global_load_transactions
+        )
+
+    def test_single_kernel(self, kron):
+        _, record, _ = JointTraversal(kron).run_group(list(range(8)))
+        assert record.counters.kernel_launches == 1
+
+    def test_warp_votes_counted(self, kron):
+        _, record, _ = JointTraversal(kron).run_group([0, 1])
+        assert record.counters.warp_votes > 0

@@ -1,0 +1,218 @@
+"""Qualitative reproduction of the paper's headline results.
+
+These tests pin the *shape* of each claim — which engine wins, in which
+regime, and roughly how — on laptop-scale graphs.  Exact factors are
+checked in the benchmark harness, not here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import kronecker, uniform_random
+from repro.bfs.direction import Direction
+from repro.bfs.naive import NaiveConcurrentBFS
+from repro.bfs.sequential import SequentialConcurrentBFS
+from repro.core.engine import IBFS, IBFSConfig
+from repro.core.sharing import pairwise_sharing
+from repro.bfs.single import SingleBFS
+
+
+@pytest.fixture(scope="module")
+def power_law():
+    """Bandwidth-bound power-law graph (the paper's main regime)."""
+    return kronecker(scale=12, edge_factor=12, seed=21)
+
+
+@pytest.fixture(scope="module")
+def uniform():
+    return uniform_random(4096, 8, seed=22)
+
+
+@pytest.fixture(scope="module")
+def sources(power_law):
+    rng = np.random.default_rng(23)
+    return sorted(
+        rng.choice(power_law.num_vertices, size=96, replace=False).tolist()
+    )
+
+
+@pytest.fixture(scope="module")
+def fig15_results(power_law, sources):
+    """One run of every figure-15 engine configuration."""
+    return {
+        "sequential": SequentialConcurrentBFS(power_law).run(
+            sources, store_depths=False
+        ),
+        "naive": NaiveConcurrentBFS(power_law).run(sources, store_depths=False),
+        "joint": IBFS(
+            power_law, IBFSConfig(group_size=64, mode="joint", groupby=False)
+        ).run(sources, store_depths=False),
+        "bitwise": IBFS(
+            power_law, IBFSConfig(group_size=64, mode="bitwise", groupby=False)
+        ).run(sources, store_depths=False),
+        "groupby": IBFS(
+            power_law, IBFSConfig(group_size=64, mode="bitwise", groupby=True)
+        ).run(sources, store_depths=False),
+    }
+
+
+class TestFigure15Ordering:
+    """Figure 15: sequential ~= naive < joint < bitwise <= groupby."""
+
+    def test_naive_close_to_sequential(self, fig15_results):
+        ratio = fig15_results["sequential"].seconds / fig15_results["naive"].seconds
+        assert 0.8 < ratio < 1.6
+
+    def test_joint_beats_sequential(self, fig15_results):
+        assert (
+            fig15_results["joint"].seconds
+            < fig15_results["sequential"].seconds
+        )
+
+    def test_bitwise_beats_joint(self, fig15_results):
+        assert fig15_results["bitwise"].seconds < fig15_results["joint"].seconds
+
+    def test_groupby_beats_or_matches_bitwise(self, fig15_results):
+        assert (
+            fig15_results["groupby"].seconds
+            <= fig15_results["bitwise"].seconds * 1.05
+        )
+
+    def test_overall_speedup_is_large(self, fig15_results):
+        speedup = (
+            fig15_results["sequential"].seconds
+            / fig15_results["groupby"].seconds
+        )
+        assert speedup > 4
+
+
+class TestFigure2Sharing:
+    """Figure 2: bottom-up levels share far more frontiers than top-down."""
+
+    def test_bottom_up_shares_more(self, power_law):
+        engine = SingleBFS(power_law)
+        runs = [engine.run(s) for s in (3, 11)]
+        td_sharing = []
+        bu_sharing = []
+        # Reconstruct per-level frontiers from depths and direction logs.
+        for level in range(1, 6):
+            dir_a = (
+                runs[0].record.levels[level].direction
+                if level < len(runs[0].record.levels)
+                else None
+            )
+            dir_b = (
+                runs[1].record.levels[level].direction
+                if level < len(runs[1].record.levels)
+                else None
+            )
+            if dir_a != dir_b or dir_a is None:
+                continue
+            if dir_a == "td":
+                fa = np.flatnonzero(runs[0].depths == level)
+                fb = np.flatnonzero(runs[1].depths == level)
+                td_sharing.append(pairwise_sharing(fa, fb))
+            else:
+                # Bottom-up frontiers are the still-unvisited vertices.
+                fa = np.flatnonzero(
+                    (runs[0].depths < 0) | (runs[0].depths >= level)
+                )
+                fb = np.flatnonzero(
+                    (runs[1].depths < 0) | (runs[1].depths >= level)
+                )
+                bu_sharing.append(pairwise_sharing(fa, fb))
+        assert bu_sharing, "expected at least one common bottom-up level"
+        if td_sharing:
+            assert max(bu_sharing) > max(td_sharing)
+
+
+class TestGroupByRegimes:
+    """Figure 9 / section 5.2: GroupBy helps power-law graphs far more
+    than uniform-degree graphs."""
+
+    def test_uniform_graph_gains_little(self, uniform):
+        rng = np.random.default_rng(29)
+        sources = sorted(
+            rng.choice(uniform.num_vertices, size=96, replace=False).tolist()
+        )
+        random = IBFS(
+            uniform, IBFSConfig(group_size=32, groupby=False)
+        ).run(sources, store_depths=False)
+        grouped = IBFS(
+            uniform, IBFSConfig(group_size=32, groupby=True)
+        ).run(sources, store_depths=False)
+        # Within a few percent either way: no hubs to exploit.
+        assert grouped.seconds == pytest.approx(random.seconds, rel=0.25)
+
+    def test_power_law_graph_gains_more(self, power_law, sources):
+        random = IBFS(
+            power_law, IBFSConfig(group_size=32, groupby=False)
+        ).run(sources, store_depths=False)
+        grouped = IBFS(
+            power_law, IBFSConfig(group_size=32, groupby=True)
+        ).run(sources, store_depths=False)
+        assert grouped.sharing_degree >= random.sharing_degree
+
+
+class TestFigure11Balance:
+    """Figure 11: GroupBy lowers the stddev of per-instance bottom-up
+    inspection counts (workload balance)."""
+
+    def test_groupby_reduces_or_preserves_stddev(self, power_law, sources):
+        def stddev(result):
+            per_instance = [
+                n
+                for g in result.groups
+                for n in g.bottom_up_inspections
+            ]
+            return float(np.std(per_instance))
+
+        random = IBFS(
+            power_law, IBFSConfig(group_size=32, groupby=False, seed=7)
+        ).run(sources, store_depths=False)
+        grouped = IBFS(
+            power_law, IBFSConfig(group_size=32, groupby=True)
+        ).run(sources, store_depths=False)
+        assert stddev(grouped) <= stddev(random) * 1.10
+
+
+class TestFigure18Stores:
+    """Figure 18: the joint frontier queue cuts frontier-queue store
+    traffic versus private per-instance queues."""
+
+    def test_jfq_enqueues_fewer_than_private(self, power_law, sources):
+        seq = SequentialConcurrentBFS(power_law).run(sources, store_depths=False)
+        joint = IBFS(
+            power_law, IBFSConfig(group_size=64, mode="joint", groupby=False)
+        ).run(sources, store_depths=False)
+        assert (
+            joint.counters.frontier_enqueues < seq.counters.frontier_enqueues
+        )
+
+
+class TestFigure19Coalescing:
+    """Figure 19: joint traversal's status accesses coalesce to about one
+    transaction per request; the naive engine needs several."""
+
+    def test_loads_per_request_improve(self, power_law, sources):
+        naive = NaiveConcurrentBFS(power_law).run(sources[:32], store_depths=False)
+        joint = IBFS(
+            power_law, IBFSConfig(group_size=32, mode="joint", groupby=False)
+        ).run(sources[:32], store_depths=False)
+        assert joint.counters.loads_per_request < naive.counters.loads_per_request
+
+
+class TestFigure21BitwiseLoads:
+    """Figure 21: bitwise statuses cut total load transactions vs JSA."""
+
+    def test_bitwise_loads_lower(self, power_law, sources):
+        joint = IBFS(
+            power_law, IBFSConfig(group_size=64, mode="joint", groupby=False)
+        ).run(sources, store_depths=False)
+        bitwise = IBFS(
+            power_law, IBFSConfig(group_size=64, mode="bitwise", groupby=False)
+        ).run(sources, store_depths=False)
+        assert (
+            bitwise.counters.global_load_transactions
+            < joint.counters.global_load_transactions
+        )

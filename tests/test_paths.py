@@ -1,0 +1,106 @@
+"""Shortest-path reconstruction from depth arrays."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraversalError
+from repro.graph.builders import from_edges
+from repro.graph.generators import kronecker, path, star
+from repro.bfs.reference import reference_bfs
+from repro.bfs.paths import all_shortest_path_counts, extract_path, path_length
+from repro.core.engine import IBFS, IBFSConfig
+
+
+@pytest.fixture(scope="module")
+def kron():
+    return kronecker(scale=7, edge_factor=8, seed=101)
+
+
+class TestExtractPath:
+    def test_path_graph(self):
+        g = path(6)
+        depths = reference_bfs(g, 0)
+        assert extract_path(g, 0, depths, 5) == [0, 1, 2, 3, 4, 5]
+
+    def test_star_two_hops(self):
+        g = star(6)
+        depths = reference_bfs(g, 1)
+        walk = extract_path(g, 1, depths, 4)
+        assert walk == [1, 0, 4]
+
+    def test_source_to_itself(self, kron):
+        depths = reference_bfs(kron, 3)
+        assert extract_path(kron, 3, depths, 3) == [3]
+
+    def test_path_is_valid_and_shortest(self, kron):
+        source = int(kron.out_degrees().argmax())
+        depths = reference_bfs(kron, source)
+        targets = np.flatnonzero(depths >= 2)[:10]
+        for target in targets:
+            walk = extract_path(kron, source, depths, int(target))
+            assert walk[0] == source
+            assert walk[-1] == target
+            assert len(walk) == depths[target] + 1
+            for u, v in zip(walk, walk[1:]):
+                assert kron.has_edge(u, v)
+
+    def test_engine_depths_work_too(self, kron):
+        source = int(kron.out_degrees().argmax())
+        result = IBFS(kron, IBFSConfig(group_size=4)).run([source])
+        depths = result.depth_row(source)
+        reachable = np.flatnonzero(depths == 2)
+        if reachable.size:
+            walk = extract_path(kron, source, depths, int(reachable[0]))
+            assert len(walk) == 3
+
+    def test_unreachable_target(self):
+        g = from_edges([(0, 1)], num_vertices=3)
+        depths = reference_bfs(g, 0)
+        with pytest.raises(TraversalError, match="unreachable"):
+            extract_path(g, 0, depths, 2)
+
+    def test_wrong_source(self):
+        g = path(4)
+        depths = reference_bfs(g, 0)
+        with pytest.raises(TraversalError, match="not a depth array"):
+            extract_path(g, 1, depths, 3)
+
+    def test_corrupt_depths_detected(self):
+        g = path(4)
+        depths = reference_bfs(g, 0)
+        depths[2] = 5
+        with pytest.raises(TraversalError):
+            extract_path(g, 0, depths, 2)
+
+    def test_target_out_of_range(self):
+        g = path(3)
+        with pytest.raises(TraversalError, match="out of range"):
+            extract_path(g, 0, reference_bfs(g, 0), 99)
+
+
+class TestPathLength:
+    def test_matches_depth(self, kron):
+        depths = reference_bfs(kron, 0)
+        assert path_length(kron, 0, depths, 0) == 0
+        some = int(np.flatnonzero(depths > 0)[0])
+        assert path_length(kron, 0, depths, some) == depths[some]
+
+    def test_unreachable_is_minus_one(self):
+        g = from_edges([(0, 1)], num_vertices=3)
+        assert path_length(g, 0, reference_bfs(g, 0), 2) == -1
+
+
+class TestPathCounts:
+    def test_diamond_has_two_paths(self):
+        # 0 -> 1 -> 3 and 0 -> 2 -> 3.
+        g = from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+        sigma = all_shortest_path_counts(g, 0)
+        assert sigma.tolist() == [1.0, 1.0, 1.0, 2.0]
+
+    def test_path_graph_single_paths(self):
+        sigma = all_shortest_path_counts(path(5), 0)
+        assert sigma.tolist() == [1.0] * 5
+
+    def test_unreachable_has_zero_paths(self):
+        g = from_edges([(0, 1)], num_vertices=3)
+        assert all_shortest_path_counts(g, 0)[2] == 0.0

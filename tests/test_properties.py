@@ -1,0 +1,94 @@
+"""Graph statistics: degrees, components, diameter, skew."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builders import from_edges
+from repro.graph.generators import kronecker, path, star, uniform_random
+from repro.graph.properties import (
+    approximate_diameter,
+    connected_components,
+    degree_histogram,
+    degree_stats,
+    gini_coefficient,
+    is_connected,
+    largest_component,
+)
+from repro.graph.csr import empty_graph
+
+
+class TestDegreeStats:
+    def test_histogram(self):
+        g = from_edges([(0, 1), (0, 2), (1, 2)], num_vertices=4)
+        # vertices 2 and 3 have outdegree 0, vertex 1 has 1, vertex 0 has 2
+        assert degree_histogram(g).tolist() == [2, 1, 1]
+
+    def test_histogram_empty_graph(self):
+        assert degree_histogram(empty_graph(0)).tolist() == [0]
+
+    def test_stats_fields(self):
+        g = star(9)
+        stats = degree_stats(g)
+        assert stats["max"] == 9
+        assert stats["mean"] == pytest.approx(18 / 10)
+        assert stats["skew"] > 0
+
+    def test_stats_empty(self):
+        assert degree_stats(empty_graph(0))["mean"] == 0.0
+
+    def test_constant_degrees_have_zero_skew(self):
+        g = path(2)
+        assert degree_stats(g)["skew"] == 0.0
+
+
+class TestGini:
+    def test_uniform_is_low(self):
+        g = uniform_random(300, 8, seed=1, undirected=False)
+        assert gini_coefficient(g) == pytest.approx(0.0, abs=1e-9)
+
+    def test_star_is_high(self):
+        # Undirected star of 100 leaves: hub degree 100, leaves degree 1;
+        # half of all edge endpoints belong to one vertex.
+        assert gini_coefficient(star(100)) > 0.45
+
+    def test_empty_is_zero(self):
+        assert gini_coefficient(empty_graph(3)) == 0.0
+
+
+class TestComponents:
+    def test_single_component(self):
+        g = path(6)
+        assert is_connected(g)
+        assert np.unique(connected_components(g)).size == 1
+
+    def test_two_components_and_isolated(self):
+        g = from_edges([(0, 1), (3, 4)], num_vertices=6, undirected=True)
+        labels = connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+        assert labels[5] == 5
+        assert not is_connected(g)
+
+    def test_directed_edges_count_as_weak_links(self):
+        g = from_edges([(0, 1), (2, 1)], num_vertices=3)
+        assert is_connected(g)
+
+    def test_largest_component(self):
+        g = from_edges([(0, 1), (1, 2), (4, 5)], num_vertices=6, undirected=True)
+        assert largest_component(g).tolist() == [0, 1, 2]
+
+    def test_empty_graph_is_connected(self):
+        assert is_connected(empty_graph(0))
+
+
+class TestDiameter:
+    def test_path_diameter(self):
+        assert approximate_diameter(path(10), num_probes=4, seed=1) == 9
+
+    def test_star_diameter(self):
+        assert approximate_diameter(star(20), num_probes=4, seed=1) == 2
+
+    def test_small_world_is_small(self):
+        g = kronecker(scale=9, edge_factor=8, seed=3)
+        assert approximate_diameter(g, num_probes=2, seed=1) <= 10

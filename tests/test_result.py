@@ -1,0 +1,111 @@
+"""ConcurrentResult accessors and validation helper."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraversalError
+from repro.gpusim.counters import ProfilerCounters
+from repro.core.result import (
+    ConcurrentResult,
+    GroupStats,
+    validate_against_reference,
+)
+
+
+def _result(depths=None, groups=None, seconds=1.0, edges=100):
+    counters = ProfilerCounters(edges_traversed=edges)
+    return ConcurrentResult(
+        engine="test",
+        sources=[3, 7],
+        seconds=seconds,
+        counters=counters,
+        num_vertices=4,
+        depths=depths,
+        groups=groups or [],
+    )
+
+
+class TestDepthAccess:
+    def test_depth_lookup(self):
+        depths = np.asarray([[0, 1, 2, -1], [1, 0, 1, -1]], dtype=np.int32)
+        result = _result(depths=depths)
+        assert result.depth(3, 2) == 2
+        assert result.depth(7, 0) == 1
+        assert result.depth_row(7).tolist() == [1, 0, 1, -1]
+
+    def test_unknown_source(self):
+        result = _result(depths=np.zeros((2, 4), dtype=np.int32))
+        with pytest.raises(TraversalError, match="not a traversal source"):
+            result.depth(9, 0)
+
+    def test_vertex_out_of_range(self):
+        result = _result(depths=np.zeros((2, 4), dtype=np.int32))
+        with pytest.raises(TraversalError, match="out of range"):
+            result.depth(3, 99)
+
+    def test_missing_depths(self):
+        result = _result(depths=None)
+        with pytest.raises(TraversalError, match="store_depths"):
+            result.depth_row(3)
+
+    def test_reached(self):
+        depths = np.asarray([[0, 1, -1, -1], [0, 0, 0, 0]], dtype=np.int32)
+        result = _result(depths=depths)
+        assert result.reached(3) == 2
+        assert result.reached(7) == 4
+
+
+class TestMetrics:
+    def test_teps(self):
+        assert _result(seconds=2.0, edges=100).teps == 50.0
+
+    def test_teps_zero_time(self):
+        assert _result(seconds=0.0).teps == 0.0
+
+    def test_sharing_aggregates_weighted(self):
+        groups = [
+            GroupStats([1, 2], 0.5, sharing_degree=2.0, sharing_ratio=1.0),
+            GroupStats([3, 4, 5, 6], 0.5, sharing_degree=1.0, sharing_ratio=0.25),
+        ]
+        result = _result(groups=groups)
+        assert result.sharing_degree == pytest.approx((2 * 2 + 1 * 4) / 6)
+        assert result.sharing_ratio == pytest.approx((1 * 2 + 0.25 * 4) / 6)
+
+    def test_sharing_empty(self):
+        assert _result().sharing_degree == 0.0
+        assert _result().sharing_ratio == 0.0
+
+    def test_group_times(self):
+        groups = [
+            GroupStats([1], 0.25, 1.0, 1.0),
+            GroupStats([2], 0.75, 1.0, 1.0),
+        ]
+        assert _result(groups=groups).group_times() == [0.25, 0.75]
+
+    def test_summary_keys(self):
+        summary = _result().summary()
+        assert {"teps", "seconds", "instances", "inspections"} <= set(summary)
+
+
+class TestValidation:
+    def test_passes_on_equal(self):
+        depths = np.asarray([[0, 1], [1, 0]], dtype=np.int32)
+        result = _result(depths=depths)
+        validate_against_reference(result, depths.copy())
+
+    def test_fails_on_difference(self):
+        depths = np.asarray([[0, 1], [1, 0]], dtype=np.int32)
+        result = _result(depths=depths)
+        wrong = depths.copy()
+        wrong[1, 1] = 5
+        with pytest.raises(TraversalError, match="disagrees"):
+            validate_against_reference(result, wrong)
+
+    def test_fails_on_shape_mismatch(self):
+        result = _result(depths=np.zeros((2, 4), dtype=np.int32))
+        with pytest.raises(TraversalError, match="shape"):
+            validate_against_reference(result, np.zeros((1, 4), dtype=np.int32))
+
+    def test_fails_without_depths(self):
+        with pytest.raises(TraversalError, match="without stored depths"):
+            validate_against_reference(_result(), np.zeros((2, 4)))

@@ -1,0 +1,106 @@
+"""Traversal-based graph samplers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import empty_graph
+from repro.graph.generators import kronecker, path, scale_free
+from repro.graph.samplers import (
+    forest_fire_sample,
+    random_walk_sample,
+    snowball_sample,
+)
+
+
+@pytest.fixture(scope="module")
+def kron():
+    return kronecker(scale=9, edge_factor=8, seed=221)
+
+
+SAMPLERS = {
+    "snowball": snowball_sample,
+    "forest_fire": forest_fire_sample,
+    "random_walk": random_walk_sample,
+}
+
+
+@pytest.mark.parametrize("name", SAMPLERS)
+class TestCommonBehavior:
+    def test_respects_budget(self, kron, name):
+        sample = SAMPLERS[name](kron, budget=100, rng_seed=1)
+        assert sample.num_vertices == 100
+
+    def test_deterministic(self, kron, name):
+        a = SAMPLERS[name](kron, budget=50, rng_seed=7)
+        b = SAMPLERS[name](kron, budget=50, rng_seed=7)
+        assert a == b
+
+    def test_budget_larger_than_graph(self, name):
+        g = path(5)
+        sample = SAMPLERS[name](g, budget=50, rng_seed=1)
+        assert sample.num_vertices == 5
+
+    def test_invalid_budget(self, kron, name):
+        with pytest.raises(GraphError):
+            SAMPLERS[name](kron, budget=0)
+
+    def test_empty_graph_rejected(self, name):
+        with pytest.raises(GraphError):
+            SAMPLERS[name](empty_graph(0), budget=1)
+
+    def test_seed_vertex_out_of_range(self, kron, name):
+        with pytest.raises(GraphError):
+            SAMPLERS[name](kron, budget=5, seed_vertex=10**6)
+
+    def test_sample_is_induced_subgraph(self, kron, name):
+        """Every sampled edge must exist in the original graph."""
+        sample = SAMPLERS[name](kron, budget=40, rng_seed=3)
+        assert sample.num_edges <= kron.num_edges
+
+
+class TestSnowball:
+    def test_collects_in_bfs_order_from_seed(self):
+        g = path(10)
+        sample = snowball_sample(g, budget=4, seed_vertex=0)
+        # Crawl from 0 collects 0,1,2,3 -> an induced path of 3 edges
+        # (undirected, so 6 directed).
+        assert sample.num_vertices == 4
+        assert sample.num_edges == 6
+
+    def test_crosses_components_via_restart(self):
+        from repro.graph.builders import from_edges
+
+        g = from_edges([(0, 1), (3, 4)], num_vertices=6, undirected=True)
+        sample = snowball_sample(g, budget=6, seed_vertex=0, rng_seed=2)
+        assert sample.num_vertices == 6
+
+
+class TestForestFire:
+    def test_invalid_probability(self, kron):
+        with pytest.raises(GraphError):
+            forest_fire_sample(kron, budget=5, forward_probability=1.0)
+
+    def test_hub_heavy_samples_keep_skew(self):
+        g = scale_free(800, 4, seed=222)
+        sample = forest_fire_sample(
+            g, budget=200, forward_probability=0.7, rng_seed=3
+        )
+        # Forest fire tends to preserve heavy-tailed degrees.
+        assert sample.out_degrees().max() > 3 * np.median(sample.out_degrees())
+
+
+class TestRandomWalk:
+    def test_invalid_restart(self, kron):
+        with pytest.raises(GraphError):
+            random_walk_sample(kron, budget=5, restart_probability=1.5)
+
+    def test_escapes_dead_ends(self):
+        from repro.graph.builders import from_edges
+
+        # Directed chain into a sink plus an unreachable pair.
+        g = from_edges([(0, 1), (1, 2), (3, 4)], num_vertices=5)
+        sample = random_walk_sample(
+            g, budget=5, seed_vertex=0, rng_seed=4, max_steps=50
+        )
+        assert sample.num_vertices == 5

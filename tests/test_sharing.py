@@ -1,0 +1,78 @@
+"""Sharing degree / ratio math (section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GroupingError
+from repro.core.sharing import (
+    SharingObserver,
+    pairwise_sharing,
+    sharing_degree,
+    sharing_ratio,
+)
+
+
+class TestSharingDegree:
+    def test_no_sharing(self):
+        # Two instances, disjoint frontiers at each level.
+        assert sharing_degree([2, 2], [2, 2]) == 1.0
+
+    def test_full_sharing(self):
+        # Two instances, identical frontiers: SD = N = 2.
+        assert sharing_degree([4, 4], [2, 2]) == 2.0
+
+    def test_empty_run(self):
+        assert sharing_degree([], []) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(GroupingError):
+            sharing_degree([1], [1, 1])
+
+    def test_ratio(self):
+        assert sharing_ratio(2.0, 4) == 0.5
+        with pytest.raises(GroupingError):
+            sharing_ratio(1.0, 0)
+
+
+class TestPairwiseSharing:
+    def test_identical_frontiers(self):
+        a = np.asarray([1, 2, 3])
+        assert pairwise_sharing(a, a) == 1.0
+
+    def test_disjoint_frontiers(self):
+        assert pairwise_sharing(np.asarray([1, 2]), np.asarray([3, 4])) == 0.0
+
+    def test_half_overlap(self):
+        a = np.asarray([1, 2])
+        b = np.asarray([2, 3])
+        assert pairwise_sharing(a, b) == pytest.approx(1 / 3)
+
+    def test_both_empty(self):
+        empty = np.asarray([], dtype=np.int64)
+        assert pairwise_sharing(empty, empty) == 0.0
+
+
+class TestObserver:
+    def test_records_and_degree(self):
+        obs = SharingObserver(group_size=2)
+        obs.record_level(4, 2)   # full sharing at level 0
+        obs.record_level(2, 2)   # no sharing at level 1
+        assert obs.degree() == pytest.approx(6 / 4)
+        assert obs.ratio() == pytest.approx(6 / 8)
+
+    def test_per_level_degree(self):
+        obs = SharingObserver(group_size=2)
+        obs.record_level(4, 2)
+        obs.record_level(2, 2)
+        obs.record_level(0, 0)
+        assert obs.per_level_degree() == [2.0, 1.0, 0.0]
+
+    def test_lemma1_expected_speedup_equals_sd(self):
+        obs = SharingObserver(group_size=3)
+        obs.record_level(9, 3)
+        assert obs.expected_speedup() == obs.degree()
+
+    def test_invalid_level_rejected(self):
+        obs = SharingObserver(group_size=2)
+        with pytest.raises(GroupingError):
+            obs.record_level(1, 2)  # joint queue cannot exceed sum

@@ -1,0 +1,154 @@
+"""Shortest-path engines: Dijkstra, Bellman-Ford, delta-stepping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, TraversalError
+from repro.graph.builders import from_edges
+from repro.graph.generators import kronecker, path
+from repro.graph.weighted import (
+    from_weighted_edges,
+    with_random_weights,
+    with_unit_weights,
+)
+from repro.bfs.reference import reference_bfs
+from repro.bfs.sssp import (
+    DeltaStepping,
+    bellman_ford,
+    concurrent_dijkstra,
+    dijkstra,
+)
+from repro.apps.apsp import floyd_warshall
+
+
+@pytest.fixture(scope="module")
+def random_weighted():
+    topo = kronecker(scale=7, edge_factor=6, seed=31)
+    return with_random_weights(topo, low=1.0, high=9.0, seed=32)
+
+
+class TestDijkstra:
+    def test_hand_example(self):
+        g = from_weighted_edges(
+            [(0, 1, 4.0), (0, 2, 1.0), (2, 1, 2.0), (1, 3, 1.0), (2, 3, 5.0)]
+        )
+        dist = dijkstra(g, 0)
+        assert dist.tolist() == [0.0, 3.0, 1.0, 4.0]
+
+    def test_unreachable_is_inf(self):
+        g = from_weighted_edges([(0, 1, 1.0)], num_vertices=3)
+        dist = dijkstra(g, 0)
+        assert dist[2] == np.inf
+
+    def test_unit_weights_match_bfs(self):
+        topo = kronecker(scale=7, edge_factor=6, seed=33)
+        g = with_unit_weights(topo)
+        depths = reference_bfs(topo, 5).astype(float)
+        depths[depths < 0] = np.inf
+        assert np.array_equal(dijkstra(g, 5), depths)
+
+    def test_negative_weights_rejected(self):
+        g = from_weighted_edges([(0, 1, -1.0)])
+        with pytest.raises(GraphError):
+            dijkstra(g, 0)
+
+    def test_source_out_of_range(self, random_weighted):
+        with pytest.raises(TraversalError):
+            dijkstra(random_weighted, random_weighted.num_vertices)
+
+    def test_concurrent_stacks_rows(self, random_weighted):
+        dists = concurrent_dijkstra(random_weighted, [0, 1, 2])
+        assert dists.shape == (3, random_weighted.num_vertices)
+        assert np.array_equal(dists[1], dijkstra(random_weighted, 1))
+
+
+class TestBellmanFord:
+    def test_matches_dijkstra_on_nonnegative(self, random_weighted):
+        for source in (0, 7, 50):
+            assert np.allclose(
+                bellman_ford(random_weighted, source),
+                dijkstra(random_weighted, source),
+            )
+
+    def test_negative_edges_allowed(self):
+        g = from_weighted_edges([(0, 1, 4.0), (0, 2, 5.0), (2, 1, -3.0)])
+        dist = bellman_ford(g, 0)
+        assert dist.tolist() == [0.0, 2.0, 5.0]
+
+    def test_negative_cycle_detected(self):
+        g = from_weighted_edges([(0, 1, 1.0), (1, 2, -2.0), (2, 1, 1.0)])
+        with pytest.raises(GraphError, match="negative cycle"):
+            bellman_ford(g, 0)
+
+    def test_unreachable_negative_cycle_is_fine(self):
+        g = from_weighted_edges(
+            [(0, 1, 1.0), (2, 3, -2.0), (3, 2, 1.0)], num_vertices=4
+        )
+        dist = bellman_ford(g, 0)
+        assert dist[1] == 1.0
+        assert dist[2] == np.inf
+
+
+class TestDeltaStepping:
+    def test_matches_dijkstra(self, random_weighted):
+        engine = DeltaStepping(random_weighted)
+        for source in (0, 3, 99):
+            result = engine.run(source)
+            assert np.allclose(
+                result.distances, dijkstra(random_weighted, source)
+            )
+
+    def test_delta_extremes_still_exact(self, random_weighted):
+        tiny = DeltaStepping(random_weighted, delta=0.5).run(2)
+        huge = DeltaStepping(random_weighted, delta=1e9).run(2)
+        reference = dijkstra(random_weighted, 2)
+        assert np.allclose(tiny.distances, reference)
+        assert np.allclose(huge.distances, reference)
+
+    def test_unit_weight_path(self):
+        g = with_unit_weights(path(6))
+        result = DeltaStepping(g, delta=1.0).run(0)
+        assert result.distances.tolist() == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_counters_and_timing(self, random_weighted):
+        result = DeltaStepping(random_weighted).run(0)
+        assert result.seconds > 0
+        assert result.relaxations > 0
+        assert result.reached > 1
+
+    def test_invalid_delta(self, random_weighted):
+        with pytest.raises(GraphError):
+            DeltaStepping(random_weighted, delta=0.0)
+
+    def test_negative_weights_rejected(self):
+        g = from_weighted_edges([(0, 1, -1.0)])
+        with pytest.raises(GraphError):
+            DeltaStepping(g)
+
+    def test_smaller_delta_means_more_rounds(self, random_weighted):
+        fine = DeltaStepping(random_weighted, delta=0.5).run(0)
+        coarse = DeltaStepping(random_weighted, delta=50.0).run(0)
+        assert fine.record.counters.levels >= coarse.record.counters.levels
+
+
+class TestFloydWarshall:
+    def test_matches_dijkstra_row_by_row(self):
+        topo = kronecker(scale=5, edge_factor=4, seed=35)
+        g = with_random_weights(topo, seed=36)
+        matrix = floyd_warshall(g)
+        for source in range(0, g.num_vertices, 7):
+            assert np.allclose(matrix[source], dijkstra(g, source))
+
+    def test_negative_cycle_detected(self):
+        g = from_weighted_edges([(0, 1, 1.0), (1, 0, -3.0)])
+        with pytest.raises(GraphError, match="negative cycle"):
+            floyd_warshall(g)
+
+    def test_multi_edges_take_lightest(self):
+        g = from_weighted_edges([(0, 1, 9.0), (0, 1, 2.0)])
+        assert floyd_warshall(g)[0, 1] == 2.0
+
+    def test_too_large_rejected(self):
+        topo = kronecker(scale=12, edge_factor=1, seed=1)
+        with pytest.raises(GraphError, match="too large"):
+            floyd_warshall(with_unit_weights(topo))

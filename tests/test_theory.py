@@ -1,0 +1,72 @@
+"""Empirical checks of the paper's sharing theory (section 5.1)."""
+
+import pytest
+
+from repro.errors import GroupingError
+from repro.graph.generators import kronecker, scale_free
+from repro.core.groupby import GroupByConfig, group_sources, random_groups
+from repro.core.theory import (
+    early_sharing_predicts_speedup,
+    early_sharing_rank,
+    verify_lemma1,
+)
+
+
+@pytest.fixture(scope="module")
+def kron():
+    return kronecker(scale=8, edge_factor=8, seed=81)
+
+
+class TestLemma1:
+    def test_sd_tracks_inspection_speedup(self, kron):
+        """Lemma 1: SD equals the expected joint-over-sequential speedup
+        (inspection-counted); measured gap should be small."""
+        report = verify_lemma1(kron, list(range(16)))
+        assert report.sharing_degree > 1.0
+        assert report.inspection_speedup > 1.0
+        assert report.relative_gap < 0.35
+
+    def test_single_instance_group_has_sd_one(self, kron):
+        source = int(kron.out_degrees().argmax())  # guaranteed non-isolated
+        report = verify_lemma1(kron, [source])
+        assert report.sharing_degree == pytest.approx(1.0, rel=0.01)
+        assert report.inspection_speedup == pytest.approx(1.0, rel=0.01)
+
+    def test_higher_sd_means_higher_speedup(self, kron):
+        # A hub-sharing group vs a random group: SD ordering must match
+        # inspection-speedup ordering (the lemma's content).
+        hub_groups = group_sources(
+            kron, list(range(64)), 8, GroupByConfig(q=32)
+        )
+        reports = [verify_lemma1(kron, g) for g in hub_groups[:4]]
+        sds = [r.sharing_degree for r in reports]
+        speedups = [r.inspection_speedup for r in reports]
+        best_sd = sds.index(max(sds))
+        best_speedup = speedups.index(max(speedups))
+        assert (
+            best_sd == best_speedup
+            or abs(sds[best_sd] - sds[best_speedup]) / sds[best_sd] < 0.1
+        )
+
+    def test_empty_group_rejected(self, kron):
+        with pytest.raises(GroupingError):
+            verify_lemma1(kron, [])
+
+
+class TestTheorem1:
+    def test_early_sharing_ranks_groups(self, kron):
+        groups = random_groups(list(range(96)), 12, seed=5)
+        correlation = early_sharing_predicts_speedup(kron, groups)
+        assert correlation > 0.3
+
+    def test_strong_signal_on_scale_free(self):
+        graph = scale_free(500, 4, seed=82)
+        grouped = group_sources(graph, list(range(72)), 12, GroupByConfig(q=16))
+        randoms = random_groups(list(range(72, 144)), 12, seed=6)
+        pairs = early_sharing_rank(graph, [*grouped[:3], *randoms[:3]])
+        assert len(pairs) == 6
+        assert all(overall >= 1.0 for _, overall in pairs)
+
+    def test_needs_two_groups(self, kron):
+        with pytest.raises(GroupingError):
+            early_sharing_predicts_speedup(kron, [[0, 1]])

@@ -1,0 +1,72 @@
+"""Top-k closeness with level-bound pruning."""
+
+import pytest
+
+from repro.errors import TraversalError
+from repro.graph.builders import from_edges
+from repro.graph.generators import kronecker, path, star
+from repro.apps.topk_closeness import (
+    exact_closeness_ranking,
+    top_k_closeness,
+)
+
+
+class TestExactness:
+    def test_matches_exhaustive_ranking_on_kron(self):
+        graph = kronecker(scale=6, edge_factor=6, seed=121)
+        exact = exact_closeness_ranking(graph)[:5]
+        pruned = top_k_closeness(graph, 5)
+        assert [v for v, _ in pruned] == [v for v, _ in exact]
+        for (_, a), (_, b) in zip(pruned, exact):
+            assert a == pytest.approx(b)
+
+    def test_star_hub_is_top(self):
+        result = top_k_closeness(star(12), 1)
+        assert result[0][0] == 0
+        assert result[0][1] == pytest.approx(1.0)
+
+    def test_path_center_is_top(self):
+        result = top_k_closeness(path(9), 2)
+        assert result[0][0] == 4  # exact center
+
+    def test_scores_sorted_descending(self):
+        graph = kronecker(scale=6, edge_factor=4, seed=122)
+        result = top_k_closeness(graph, 8)
+        scores = [s for _, s in result]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestCandidatesAndPruning:
+    def test_candidate_subset_respected(self):
+        graph = star(10)
+        result = top_k_closeness(graph, 3, candidates=[2, 3, 4])
+        assert {v for v, _ in result} <= {2, 3, 4}
+
+    def test_k_clamped_to_candidates(self):
+        graph = path(5)
+        assert len(top_k_closeness(graph, 10, candidates=[0, 1])) == 2
+
+    def test_deeper_pruning_level_same_answer(self):
+        graph = kronecker(scale=6, edge_factor=6, seed=123)
+        shallow = top_k_closeness(graph, 4, prune_after_level=1)
+        deep = top_k_closeness(graph, 4, prune_after_level=4)
+        assert [v for v, _ in shallow] == [v for v, _ in deep]
+
+    def test_disconnected_graph(self):
+        graph = from_edges([(0, 1), (1, 2)], num_vertices=5, undirected=True)
+        result = top_k_closeness(graph, 2)
+        assert result[0][0] == 1  # middle of the only component
+
+
+class TestValidation:
+    def test_invalid_k(self):
+        with pytest.raises(TraversalError):
+            top_k_closeness(path(3), 0)
+
+    def test_invalid_prune_level(self):
+        with pytest.raises(TraversalError):
+            top_k_closeness(path(3), 1, prune_after_level=0)
+
+    def test_candidate_out_of_range(self):
+        with pytest.raises(TraversalError):
+            top_k_closeness(path(3), 1, candidates=[99])

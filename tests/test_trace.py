@@ -1,0 +1,63 @@
+"""Run-record trace export."""
+
+import json
+
+import pytest
+
+from repro.graph.generators import kronecker
+from repro.gpusim.device import Device
+from repro.gpusim.trace import (
+    TRACE_FIELDS,
+    record_to_json,
+    record_to_rows,
+    summarize_record,
+)
+from repro.bfs.single import SingleBFS
+
+
+@pytest.fixture(scope="module")
+def run():
+    graph = kronecker(scale=7, edge_factor=8, seed=91)
+    device = Device()
+    result = SingleBFS(graph, device).run(0)
+    return result.record, device
+
+
+def test_rows_have_all_fields(run):
+    record, device = run
+    rows = record_to_rows(record, device.cost)
+    assert len(rows) == len(record.levels)
+    for row in rows:
+        assert set(TRACE_FIELDS) <= set(row)
+        assert row["seconds"] > 0
+
+
+def test_rows_without_cost_model_leave_seconds_none(run):
+    record, _ = run
+    assert record_to_rows(record)[0]["seconds"] is None
+
+
+def test_json_round_trips(run):
+    record, device = run
+    payload = json.loads(record_to_json(record, device.cost))
+    assert len(payload["levels"]) == len(record.levels)
+    assert (
+        payload["counters"]["global_load_transactions"]
+        == record.counters.global_load_transactions
+    )
+    assert payload["counters"]["levels"] == record.counters.levels
+
+
+def test_summary_totals_consistent(run):
+    record, device = run
+    summary = summarize_record(record, device.cost)
+    assert summary["levels"] == len(record.levels)
+    assert summary["td_levels"] + summary["bu_levels"] == summary["levels"]
+    assert (
+        summary["td_transactions"] + summary["bu_transactions"]
+        == summary["total_transactions"]
+    )
+    assert summary["seconds"] == pytest.approx(
+        device.cost.kernel_time(record.levels)
+    )
+    assert summary["peak_frontier"] > 0

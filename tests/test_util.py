@@ -1,0 +1,45 @@
+"""Vectorized gather helpers."""
+
+import numpy as np
+
+from repro.graph.builders import from_edges
+from repro.util import exclusive_cumsum, expand_ranges, gather_neighbors
+
+
+def test_exclusive_cumsum():
+    values = np.asarray([3, 1, 4])
+    assert exclusive_cumsum(values).tolist() == [0, 3, 4]
+
+
+def test_exclusive_cumsum_empty():
+    assert exclusive_cumsum(np.asarray([], dtype=np.int64)).size == 0
+
+
+def test_expand_ranges():
+    starts = np.asarray([10, 20])
+    widths = np.asarray([3, 2])
+    assert expand_ranges(starts, widths).tolist() == [10, 11, 12, 20, 21]
+
+
+def test_expand_ranges_with_zero_width():
+    starts = np.asarray([5, 9, 100])
+    widths = np.asarray([2, 0, 1])
+    assert expand_ranges(starts, widths).tolist() == [5, 6, 100]
+
+
+def test_expand_ranges_all_empty():
+    assert expand_ranges(np.asarray([1, 2]), np.asarray([0, 0])).size == 0
+
+
+def test_gather_neighbors_matches_per_vertex_lists():
+    g = from_edges([(0, 1), (0, 2), (2, 0), (2, 1), (2, 2)], num_vertices=3)
+    sources, neighbors = gather_neighbors(g, np.asarray([0, 2]))
+    assert sources.tolist() == [0, 0, 2, 2, 2]
+    assert neighbors.tolist() == [1, 2, 0, 1, 2]
+
+
+def test_gather_neighbors_empty_frontier():
+    g = from_edges([(0, 1)])
+    sources, neighbors = gather_neighbors(g, np.asarray([], dtype=np.int64))
+    assert sources.size == 0
+    assert neighbors.size == 0

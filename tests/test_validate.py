@@ -1,0 +1,82 @@
+"""Graph500-style oracle-free BFS validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraversalError
+from repro.graph.builders import from_edges
+from repro.graph.generators import kronecker, path
+from repro.bfs.reference import reference_bfs
+from repro.bfs.validate import is_valid_bfs, validate_depths
+
+
+@pytest.fixture(scope="module")
+def kron():
+    return kronecker(scale=7, edge_factor=6, seed=41)
+
+
+class TestAcceptsCorrectOutput:
+    def test_reference_depths_validate(self, kron):
+        for source in (0, 17, 100):
+            validate_depths(kron, source, reference_bfs(kron, source))
+
+    def test_disconnected_graph(self):
+        g = from_edges([(0, 1), (3, 4)], num_vertices=6, undirected=True)
+        validate_depths(g, 0, reference_bfs(g, 0))
+
+    def test_every_engine_output_validates(self, kron):
+        from repro.core.engine import IBFS, IBFSConfig
+
+        sources = [0, 5, 9]
+        result = IBFS(kron, IBFSConfig(group_size=4)).run(sources)
+        for s in sources:
+            validate_depths(kron, s, result.depth_row(s))
+
+
+class TestRejectsCorruption:
+    @pytest.fixture
+    def line(self):
+        return path(6)
+
+    def test_wrong_source_depth(self, line):
+        depths = reference_bfs(line, 0)
+        depths[0] = 1
+        assert not is_valid_bfs(line, 0, depths)
+
+    def test_skipped_level(self, line):
+        depths = reference_bfs(line, 0)
+        depths[3] = 5  # edge 2-3 would span two levels
+        with pytest.raises(TraversalError, match="spans"):
+            validate_depths(line, 0, depths)
+
+    def test_false_unreachable(self, line):
+        depths = reference_bfs(line, 0)
+        depths[5] = -1  # vertex 4 is reached, so 5 cannot be unreached
+        with pytest.raises(TraversalError, match="unreached"):
+            validate_depths(line, 0, depths)
+
+    def test_orphan_vertex(self):
+        g = from_edges([(0, 1)], num_vertices=3)
+        depths = np.asarray([0, 1, 2], dtype=np.int32)  # 2 has no parent
+        with pytest.raises(TraversalError, match="no"):
+            validate_depths(g, 0, depths)
+
+    def test_depth_zero_elsewhere(self, line):
+        depths = reference_bfs(line, 0)
+        depths[2] = 0
+        assert not is_valid_bfs(line, 0, depths)
+
+    def test_shape_mismatch(self, line):
+        with pytest.raises(TraversalError, match="shape"):
+            validate_depths(line, 0, np.zeros(3, dtype=np.int32))
+
+    def test_source_out_of_range(self, line):
+        with pytest.raises(TraversalError, match="out of range"):
+            validate_depths(line, 99, np.zeros(6, dtype=np.int32))
+
+    def test_too_shallow_depth_is_not_detected_locally(self, line):
+        """A depth *smaller* than true distance passes local edge checks
+        only if a parent exists — validate that rule 3 catches it."""
+        depths = reference_bfs(line, 0)
+        depths[4] = 2  # no in-neighbor at depth 1 exists for vertex 4
+        assert not is_valid_bfs(line, 0, depths)

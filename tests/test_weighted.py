@@ -1,0 +1,95 @@
+"""Weighted CSR graphs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builders import from_edges
+from repro.graph.generators import kronecker
+from repro.graph.weighted import (
+    WeightedCSRGraph,
+    from_weighted_edges,
+    with_random_weights,
+    with_unit_weights,
+)
+
+
+@pytest.fixture
+def weighted_triangle():
+    return from_weighted_edges([(0, 1, 2.0), (1, 2, 3.0), (2, 0, 5.0)])
+
+
+class TestConstruction:
+    def test_basic(self, weighted_triangle):
+        assert weighted_triangle.num_vertices == 3
+        assert weighted_triangle.num_edges == 3
+
+    def test_weight_count_must_match(self):
+        g = from_edges([(0, 1), (1, 2)])
+        with pytest.raises(GraphError, match="one weight per edge"):
+            WeightedCSRGraph(g, np.asarray([1.0]))
+
+    def test_neighbors_return_weights(self, weighted_triangle):
+        neighbors, weights = weighted_triangle.neighbors(1)
+        assert neighbors.tolist() == [2]
+        assert weights.tolist() == [3.0]
+
+    def test_weights_follow_csr_order(self):
+        # Edges given out of source order; weights must follow topology.
+        g = from_weighted_edges([(1, 0, 9.0), (0, 2, 1.0), (0, 1, 4.0)])
+        neighbors, weights = g.neighbors(0)
+        assert neighbors.tolist() == [2, 1]
+        assert weights.tolist() == [1.0, 4.0]
+
+    def test_undirected_duplicates_weights(self):
+        g = from_weighted_edges([(0, 1, 7.0)], undirected=True)
+        assert g.num_edges == 2
+        _, w01 = g.neighbors(0)
+        _, w10 = g.neighbors(1)
+        assert w01.tolist() == [7.0]
+        assert w10.tolist() == [7.0]
+
+    def test_empty(self):
+        g = from_weighted_edges([])
+        assert g.num_vertices == 0
+        assert not g.has_negative_weights()
+
+    def test_repr(self, weighted_triangle):
+        assert "num_vertices=3" in repr(weighted_triangle)
+
+
+class TestReverse:
+    def test_reverse_carries_weights(self, weighted_triangle):
+        rev = weighted_triangle.reverse()
+        neighbors, weights = rev.neighbors(1)
+        assert neighbors.tolist() == [0]
+        assert weights.tolist() == [2.0]
+
+    def test_reverse_is_cached_involution(self, weighted_triangle):
+        assert weighted_triangle.reverse().reverse() is weighted_triangle
+
+
+class TestFactories:
+    def test_unit_weights_are_ones(self):
+        g = with_unit_weights(from_edges([(0, 1), (1, 2)]))
+        assert g.weights.tolist() == [1.0, 1.0]
+
+    def test_random_weights_in_range(self):
+        topo = kronecker(scale=6, edge_factor=4, seed=2)
+        g = with_random_weights(topo, low=2.0, high=5.0, seed=3)
+        assert g.weights.min() >= 2.0
+        assert g.weights.max() < 5.0
+
+    def test_random_weights_deterministic(self):
+        topo = kronecker(scale=5, edge_factor=4, seed=2)
+        a = with_random_weights(topo, seed=3)
+        b = with_random_weights(topo, seed=3)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_invalid_range(self):
+        with pytest.raises(GraphError):
+            with_random_weights(from_edges([(0, 1)]), low=5.0, high=1.0)
+
+    def test_negative_detection(self):
+        g = from_weighted_edges([(0, 1, -1.0)])
+        assert g.has_negative_weights()
