@@ -13,7 +13,10 @@ deterministic GPU execution-model simulator:
   bitwise status array with bottom-up early termination;
 * :mod:`repro.baselines` — MS-BFS, B40C, SpMM-BC, CPU-iBFS comparators;
 * :mod:`repro.apps` — reachability indexing, closeness and betweenness
-  centrality on top of concurrent BFS.
+  centrality on top of concurrent BFS;
+* :mod:`repro.service` — online serving layer: dynamic micro-batching
+  of request streams into GroupBy-formed groups, LRU result caching,
+  admission control/backpressure, and serving metrics.
 
 Quickstart
 ----------
@@ -33,6 +36,10 @@ from repro.errors import (
     CapacityError,
     TraversalError,
     GroupingError,
+    ServiceError,
+    QueueFullError,
+    RequestTimeoutError,
+    RequestFailedError,
 )
 from repro.graph import (
     CSRGraph,
@@ -79,6 +86,16 @@ from repro.core import (
     random_groups,
 )
 from repro.baselines import MSBFS, B40C, SpMMBC, CPUiBFS
+from repro.service import (
+    BFSServer,
+    InProcessClient,
+    ServingConfig,
+    Request,
+    Response,
+    WorkloadConfig,
+    run_closed_loop,
+    compare_serving,
+)
 from repro.apps import (
     build_reachability_index,
     closeness_centrality,
@@ -98,6 +115,10 @@ __all__ = [
     "CapacityError",
     "TraversalError",
     "GroupingError",
+    "ServiceError",
+    "QueueFullError",
+    "RequestTimeoutError",
+    "RequestFailedError",
     "CSRGraph",
     "WeightedCSRGraph",
     "with_random_weights",
@@ -144,5 +165,13 @@ __all__ = [
     "apsp_unweighted",
     "floyd_warshall",
     "connected_components_concurrent",
+    "BFSServer",
+    "InProcessClient",
+    "ServingConfig",
+    "Request",
+    "Response",
+    "WorkloadConfig",
+    "run_closed_loop",
+    "compare_serving",
     "__version__",
 ]

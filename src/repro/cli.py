@@ -8,9 +8,14 @@ run:
 * ``run`` — concurrent BFS with a chosen engine, printing TEPS and
   profiler counters;
 * ``compare`` — the figure-15 engine ladder on one graph;
-* ``groups`` — show the GroupBy partition for a source set.
+* ``groups`` — show the GroupBy partition for a source set;
+* ``serve`` — drive the online serving layer with a closed-loop
+  workload and print (or export) serving metrics;
+* ``bench-serve`` — micro-batched vs one-request-one-traversal
+  serving throughput on the same workload.
 
-Usage: ``python -m repro.cli <subcommand> --help``.
+Usage: ``python -m repro.cli <subcommand> --help`` (or the installed
+``repro`` console script).
 """
 
 from __future__ import annotations
@@ -188,6 +193,84 @@ def cmd_sssp(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serving_config(args: argparse.Namespace) -> "ServingConfig":
+    from repro.service import ServingConfig
+
+    return ServingConfig(
+        batch_size=args.batch_size,
+        flush_deadline=args.deadline_us * 1e-6,
+        queue_capacity=args.queue_capacity,
+        cache_capacity=args.cache_capacity,
+        num_devices=args.devices,
+        groupby=not args.no_groupby,
+    )
+
+
+def _workload_config(args: argparse.Namespace) -> "WorkloadConfig":
+    from repro.service import WorkloadConfig
+
+    return WorkloadConfig(
+        num_requests=args.requests,
+        num_clients=args.clients,
+        zipf_exponent=args.zipf,
+        kind=args.kind,
+        max_depth=args.max_depth,
+        seed=args.seed,
+    )
+
+
+def _print_load_result(label: str, result) -> None:
+    lat = result.metrics["latency_seconds"]
+    batches = result.metrics["batches"]
+    cache = result.metrics["cache"]
+    print(f"{label}")
+    print(f"  completed         : {result.completed} "
+          f"(shed {result.shed}, errored {result.errored})")
+    print(f"  simulated elapsed : {result.elapsed * 1e3:.3f} ms")
+    print(f"  throughput        : {result.throughput / 1e3:.1f}k req/s")
+    print(f"  latency p50/p99   : {lat['p50'] * 1e6:.1f} / "
+          f"{lat['p99'] * 1e6:.1f} us")
+    print(f"  batches           : {batches['count']} "
+          f"(occupancy {batches['mean_occupancy']:.2f}, "
+          f"sharing degree {batches['mean_sharing_degree']:.2f})")
+    print(f"  cache hit rate    : {cache['hit_rate']:.2f} "
+          f"({cache['hits']} hits, {cache['evictions']} evictions)")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import BFSServer, run_closed_loop
+
+    graph = _load_graph(args.graph)
+    server = BFSServer(graph, _serving_config(args))
+    result = run_closed_loop(server, _workload_config(args))
+    _print_load_result(
+        f"served {args.requests} {args.kind} requests "
+        f"({args.clients} closed-loop clients, zipf {args.zipf})",
+        result,
+    )
+    if args.metrics_json:
+        import json
+
+        with open(args.metrics_json, "w") as fh:
+            json.dump(result.metrics, fh, indent=2)
+        print(f"  metrics json      : {args.metrics_json}")
+    return 0
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.service import compare_serving
+
+    graph = _load_graph(args.graph)
+    comparison = compare_serving(
+        graph, _workload_config(args), _serving_config(args)
+    )
+    _print_load_result("micro-batched serving", comparison["batched"])
+    _print_load_result("naive serving (one request, one traversal)",
+                       comparison["naive"])
+    print(f"throughput speedup  : {comparison['speedup']:.2f}x")
+    return 0
+
+
 def cmd_topk(args: argparse.Namespace) -> int:
     from repro.apps.topk_closeness import top_k_closeness
 
@@ -267,6 +350,42 @@ def build_parser() -> argparse.ArgumentParser:
     topk.add_argument("graph")
     topk.add_argument("--k", type=int, default=10)
     topk.set_defaults(func=cmd_topk)
+
+    def add_serving_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("graph")
+        p.add_argument("--requests", type=int, default=512,
+                       help="total requests the clients issue")
+        p.add_argument("--clients", type=int, default=64,
+                       help="closed-loop clients")
+        p.add_argument("--zipf", type=float, default=1.1,
+                       help="source-popularity Zipf exponent")
+        p.add_argument("--kind", choices=("bfs", "closeness"), default="bfs")
+        p.add_argument("--max-depth", type=int, default=None)
+        p.add_argument("--batch-size", type=int, default=32,
+                       help="max traversal sources per batch (paper N)")
+        p.add_argument("--deadline-us", type=float, default=20.0,
+                       help="flush deadline in simulated microseconds")
+        p.add_argument("--queue-capacity", type=int, default=256)
+        p.add_argument("--cache-capacity", type=int, default=4096)
+        p.add_argument("--devices", type=int, default=1)
+        p.add_argument("--no-groupby", action="store_true",
+                       help="form batches FIFO instead of by GroupBy rules")
+        p.add_argument("--seed", type=int, default=42)
+
+    serve = sub.add_parser(
+        "serve", help="run the online serving layer under a closed-loop load"
+    )
+    add_serving_args(serve)
+    serve.add_argument("--metrics-json", default=None,
+                       help="write the metrics snapshot to this path")
+    serve.set_defaults(func=cmd_serve)
+
+    bench = sub.add_parser(
+        "bench-serve",
+        help="micro-batched vs one-request-one-traversal serving throughput",
+    )
+    add_serving_args(bench)
+    bench.set_defaults(func=cmd_bench_serve)
 
     return parser
 

@@ -126,6 +126,51 @@ class IBFS:
         return min(self.config.group_size, capacity)
 
     # ------------------------------------------------------------------
+    def run_group(
+        self,
+        group: Sequence[int],
+        max_depth: Optional[int] = None,
+    ) -> ConcurrentResult:
+        """Execute one pre-formed group as a single joint kernel.
+
+        This is the re-entrant per-group execution hook the serving
+        layer (:mod:`repro.service`) builds on: callers that form their
+        own batches (e.g. a micro-batcher draining an online request
+        queue) run each batch through this method without re-grouping.
+        The group must respect the device capacity rule and contain
+        distinct in-range sources.  Depths are always stored — the
+        returned :class:`ConcurrentResult` holds exactly one group.
+        """
+        group = [int(s) for s in group]
+        if not group:
+            raise TraversalError("a group needs at least one source")
+        if len(set(group)) != len(group):
+            raise TraversalError("group sources must be distinct")
+        for s in group:
+            if not 0 <= s < self.graph.num_vertices:
+                raise TraversalError(f"source {s} out of range")
+        capacity = self.effective_group_size()
+        if len(group) > capacity:
+            raise TraversalError(
+                f"group of {len(group)} exceeds the effective group size "
+                f"{capacity}"
+            )
+        depths, record, stats = self._group_engine.run_group(
+            group, max_depth=max_depth
+        )
+        counters = ProfilerCounters()
+        counters.merge(record.counters)
+        return ConcurrentResult(
+            engine=self.name,
+            sources=group,
+            seconds=stats.seconds,
+            counters=counters,
+            depths=np.asarray(depths),
+            num_vertices=self.graph.num_vertices,
+            groups=[stats],
+        )
+
+    # ------------------------------------------------------------------
     def run(
         self,
         sources: Sequence[int],
@@ -148,14 +193,12 @@ class IBFS:
         depth_rows = {} if store_depths else None
 
         for group in groups:
-            depths, record, stats = self._group_engine.run_group(
-                group, max_depth=max_depth
-            )
-            counters.merge(record.counters)
-            group_stats.append(stats)
+            part = self.run_group(group, max_depth=max_depth)
+            counters.merge(part.counters)
+            group_stats.append(part.groups[0])
             if depth_rows is not None:
                 for row, source in enumerate(group):
-                    depth_rows[source] = depths[row]
+                    depth_rows[source] = part.depths[row]
 
         if cluster is not None:
             seconds = cluster.run([g.seconds for g in group_stats]).makespan

@@ -34,3 +34,22 @@ class TraversalError(ReproError):
 
 class GroupingError(ReproError):
     """Raised when GroupBy receives invalid parameters or source sets."""
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the online serving layer."""
+
+
+class QueueFullError(ServiceError):
+    """Raised when admission control sheds a request because the bounded
+    pending queue is at capacity (backpressure)."""
+
+
+class RequestTimeoutError(ServiceError):
+    """Raised when a request exceeds its per-request timeout before a
+    result could be produced."""
+
+
+class RequestFailedError(ServiceError):
+    """Raised when a request ultimately fails after exhausting its
+    retry budget."""

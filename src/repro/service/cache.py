@@ -1,0 +1,111 @@
+"""LRU result cache for served traversals.
+
+Power-law graphs concentrate queries on hot vertices the same way they
+concentrate edges on hubs, so an online BFS service sees heavily
+repeated sources.  A depth row fully determines every answer the
+service can give about a source (reached count, target depth,
+closeness), so the cache stores depth rows keyed by
+``(graph_id, source, engine_key, max_depth)`` and every request kind is
+served from the same entry.
+
+``graph_id`` fingerprints the CSR arrays (so two servers on different
+graphs never alias) and ``engine_key`` fingerprints the engine
+configuration, per the serving-layer contract.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.graph.csr import CSRGraph
+from repro.core.engine import IBFSConfig
+
+
+def graph_cache_id(graph: CSRGraph) -> str:
+    """Stable content fingerprint of a CSR graph."""
+    crc = zlib.crc32(graph.row_offsets.tobytes())
+    crc = zlib.crc32(graph.col_indices.tobytes(), crc)
+    return f"csr-{graph.num_vertices}-{graph.num_edges}-{crc:08x}"
+
+
+def engine_cache_key(config: IBFSConfig) -> str:
+    """Stable fingerprint of the engine configuration."""
+    return (
+        f"{config.mode}-n{config.group_size}"
+        f"-gb{int(config.groupby)}-et{int(config.early_termination)}"
+        f"-vw{config.vector_width}-s{config.seed}"
+    )
+
+
+class ResultCache:
+    """Bounded LRU mapping cache keys to depth rows.
+
+    ``capacity`` counts entries; 0 disables caching entirely (every
+    lookup misses, every store is dropped) so the unbatched baseline
+    can run cache-free through the same code path.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ServiceError("cache capacity must be non-negative")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key(
+        graph_id: str, source: int, engine_key: str, max_depth: Optional[int]
+    ) -> Tuple[str, int, str, Optional[int]]:
+        return (graph_id, int(source), engine_key, max_depth)
+
+    def get(self, key: Hashable) -> Optional[np.ndarray]:
+        """Depth row for ``key``, refreshing recency; ``None`` on miss."""
+        row = self._entries.get(key)
+        if row is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return row
+
+    def put(self, key: Hashable, depth_row: np.ndarray) -> None:
+        """Insert (or refresh) an entry, evicting the LRU on overflow."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = depth_row
+            return
+        self._entries[key] = depth_row
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups, 0.0 before any lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }

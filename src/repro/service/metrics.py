@@ -1,0 +1,176 @@
+"""Serving metrics registry.
+
+Records what a production BFS service would export: request counts by
+outcome, latency percentiles, batch occupancy and realized sharing
+degree (the paper's figure 6 metric, observed per served batch), cache
+effectiveness, and queue depth.  Everything is a plain counter or a
+bounded reservoir over simulated seconds, so snapshots are
+deterministic and JSON-serializable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]); 0.0 if empty."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile out of range: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return float(ordered[low] * (1.0 - frac) + ordered[high] * frac)
+
+
+@dataclass
+class BatchRecord:
+    """One executed batch (one joint kernel launch)."""
+
+    batch_id: int
+    launch_time: float
+    seconds: float
+    #: Requests served by the batch (>= num_sources when coalesced).
+    num_requests: int
+    #: Distinct traversal sources in the batch.
+    num_sources: int
+    #: Configured max batch size at launch.
+    batch_limit: int
+    #: Realized sharing degree of the joint kernel.
+    sharing_degree: float
+    #: Why the batch flushed: ``"size"``, ``"deadline"``, or ``"drain"``.
+    trigger: str = "size"
+
+    @property
+    def occupancy(self) -> float:
+        """Fill fraction of the batch slot, in (0, 1]."""
+        return self.num_sources / self.batch_limit if self.batch_limit else 0.0
+
+
+@dataclass
+class MetricsRegistry:
+    """Accumulates serving metrics; snapshot with :meth:`snapshot`."""
+
+    submitted: int = 0
+    completed: int = 0
+    cache_hits: int = 0
+    shed: int = 0
+    timeouts: int = 0
+    failures: int = 0
+    retries: int = 0
+    latencies: List[float] = field(default_factory=list)
+    batches: List[BatchRecord] = field(default_factory=list)
+    queue_depths: List[int] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_submit(self, queue_depth: int) -> None:
+        self.submitted += 1
+        self.queue_depths.append(queue_depth)
+
+    def record_completion(self, latency: float, cached: bool) -> None:
+        self.completed += 1
+        if cached:
+            self.cache_hits += 1
+        self.latencies.append(latency)
+
+    def record_batch(self, record: BatchRecord) -> None:
+        self.batches.append(record)
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    def latency_percentiles(self) -> Dict[str, float]:
+        return {
+            "p50": percentile(self.latencies, 50.0),
+            "p90": percentile(self.latencies, 90.0),
+            "p99": percentile(self.latencies, 99.0),
+            "mean": (
+                sum(self.latencies) / len(self.latencies)
+                if self.latencies
+                else 0.0
+            ),
+            "max": max(self.latencies) if self.latencies else 0.0,
+        }
+
+    @property
+    def mean_occupancy(self) -> float:
+        if not self.batches:
+            return 0.0
+        return sum(b.occupancy for b in self.batches) / len(self.batches)
+
+    @property
+    def mean_sharing_degree(self) -> float:
+        if not self.batches:
+            return 0.0
+        return sum(b.sharing_degree for b in self.batches) / len(self.batches)
+
+    @property
+    def mean_queue_depth(self) -> float:
+        if not self.queue_depths:
+            return 0.0
+        return sum(self.queue_depths) / len(self.queue_depths)
+
+    def throughput(self, elapsed: float) -> float:
+        """Completed requests per simulated second over ``elapsed``."""
+        return self.completed / elapsed if elapsed > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def snapshot(
+        self, elapsed: Optional[float] = None, cache_stats: Optional[dict] = None
+    ) -> dict:
+        """JSON-serializable summary of everything recorded so far."""
+        flush_triggers: Dict[str, int] = {}
+        for batch in self.batches:
+            flush_triggers[batch.trigger] = flush_triggers.get(batch.trigger, 0) + 1
+        payload = {
+            "requests": {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "cache_hits": self.cache_hits,
+                "shed": self.shed,
+                "timeouts": self.timeouts,
+                "failures": self.failures,
+                "retries": self.retries,
+            },
+            "latency_seconds": self.latency_percentiles(),
+            "batches": {
+                "count": len(self.batches),
+                "mean_occupancy": self.mean_occupancy,
+                "mean_sharing_degree": self.mean_sharing_degree,
+                "flush_triggers": flush_triggers,
+                "mean_requests_per_batch": (
+                    sum(b.num_requests for b in self.batches) / len(self.batches)
+                    if self.batches
+                    else 0.0
+                ),
+            },
+            "queue": {
+                "mean_depth": self.mean_queue_depth,
+                "max_depth": max(self.queue_depths) if self.queue_depths else 0,
+            },
+        }
+        if elapsed is not None:
+            payload["elapsed_seconds"] = elapsed
+            payload["requests_per_second"] = self.throughput(elapsed)
+        if cache_stats is not None:
+            payload["cache"] = dict(cache_stats)
+        return payload
+
+    def to_json(self, elapsed: Optional[float] = None,
+                cache_stats: Optional[dict] = None, indent: int = 2) -> str:
+        return json.dumps(
+            self.snapshot(elapsed=elapsed, cache_stats=cache_stats),
+            indent=indent,
+        )

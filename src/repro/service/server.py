@@ -1,0 +1,498 @@
+"""The online concurrent-BFS server.
+
+``BFSServer`` accepts a stream of single-source requests and serves
+them through the existing :class:`~repro.core.engine.IBFS` engine via
+its re-entrant :meth:`~repro.core.engine.IBFS.run_group` hook.  The
+pipeline per request:
+
+1. **admission** — the bounded pending queue either admits the request
+   or sheds it with :class:`~repro.errors.QueueFullError`
+   (backpressure toward the client);
+2. **cache** — an LRU of depth rows keyed by
+   ``(graph_id, source, engine_key, max_depth)`` answers repeat
+   sources without traversal;
+3. **micro-batching** — misses pool in a :class:`MicroBatcher` that
+   flushes GroupBy-formed batches on size or deadline;
+4. **execution** — each batch runs as one joint kernel on the least
+   loaded simulated device; a failed kernel is retried once per
+   request before a :data:`~repro.service.request.STATUS_FAILED`
+   response;
+5. **completion** — per-request latency, batch occupancy, sharing
+   degree, and cache statistics land in a :class:`MetricsRegistry`.
+
+Like every engine in this repository, the server runs in *simulated*
+time: it is a discrete-event system driven by explicit arrival
+timestamps, so a given (graph, request stream, config) triple always
+produces bit-identical depths, latencies, and metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import QueueFullError, ReproError, ServiceError
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import Device
+from repro.bfs.direction import DirectionPolicy
+from repro.core.engine import IBFS, IBFSConfig
+from repro.core.groupby import GroupByConfig
+from repro.service.batcher import MicroBatcher
+from repro.service.cache import ResultCache, engine_cache_key, graph_cache_id
+from repro.service.metrics import BatchRecord, MetricsRegistry
+from repro.service.request import (
+    PendingRequest,
+    Request,
+    Response,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+)
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Configuration of a :class:`BFSServer`.
+
+    Attributes
+    ----------
+    batch_size:
+        Maximum traversal sources per batch (the paper's N); clamped by
+        the device capacity rule at server construction.
+    flush_deadline:
+        Simulated seconds the oldest pending request may wait before a
+        partial batch is flushed anyway.  Simulated kernels run in
+        microseconds at laptop scale, so the default is 20 µs — pick a
+        value a small multiple of one batch's simulated seconds.
+    queue_capacity:
+        Bound on the pending pool; submissions beyond it are shed with
+        :class:`~repro.errors.QueueFullError`.
+    cache_capacity:
+        LRU result-cache entries (0 disables caching).
+    num_devices:
+        Simulated devices executing batches (a small device pool; the
+        queue backs up — and sheds — when all are busy).
+    default_timeout:
+        Per-request timeout in simulated seconds for requests that do
+        not carry their own (``None`` = no timeout).
+    max_attempts:
+        Execution attempts per request (2 = the contract's
+        retry-once-on-failure).
+    cache_hit_latency:
+        Simulated seconds charged to a cache hit (index lookup cost).
+    groupby:
+        Apply the GroupBy rules to the pending pool when forming
+        batches; off, batches are FIFO chunks (the random baseline).
+    return_depths:
+        Attach full depth rows to ``"bfs"`` responses.
+    """
+
+    batch_size: int = 32
+    flush_deadline: float = 2e-5
+    queue_capacity: int = 256
+    cache_capacity: int = 4096
+    num_devices: int = 1
+    default_timeout: Optional[float] = None
+    max_attempts: int = 2
+    cache_hit_latency: float = 1e-7
+    groupby: bool = True
+    return_depths: bool = False
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ServiceError("batch_size must be positive")
+        if self.flush_deadline <= 0:
+            raise ServiceError("flush_deadline must be positive")
+        if self.queue_capacity <= 0:
+            raise ServiceError("queue_capacity must be positive")
+        if self.cache_capacity < 0:
+            raise ServiceError("cache_capacity must be non-negative")
+        if self.num_devices <= 0:
+            raise ServiceError("num_devices must be positive")
+        if self.default_timeout is not None and self.default_timeout <= 0:
+            raise ServiceError("default_timeout must be positive when given")
+        if self.max_attempts <= 0:
+            raise ServiceError("max_attempts must be positive")
+        if self.cache_hit_latency < 0:
+            raise ServiceError("cache_hit_latency must be non-negative")
+
+
+class BFSServer:
+    """Online serving front-end over one graph and one engine config."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        serving: Optional[ServingConfig] = None,
+        engine_config: Optional[IBFSConfig] = None,
+        device: Optional[Device] = None,
+        policy: Optional[DirectionPolicy] = None,
+        groupby_config: Optional[GroupByConfig] = None,
+        fault_injector: Optional[Callable[[Sequence[int]], None]] = None,
+    ) -> None:
+        self.graph = graph
+        self.serving = serving or ServingConfig()
+        engine_config = engine_config or IBFSConfig(
+            group_size=self.serving.batch_size
+        )
+        self.engine = IBFS(graph, engine_config, device=device, policy=policy)
+        #: Effective max batch size (configured, clamped by capacity).
+        self.batch_size = min(
+            self.serving.batch_size, self.engine.effective_group_size()
+        )
+        self.batcher = MicroBatcher(
+            graph,
+            self.batch_size,
+            self.serving.flush_deadline,
+            groupby=self.serving.groupby,
+            groupby_config=groupby_config,
+        )
+        self.cache = ResultCache(self.serving.cache_capacity)
+        self.metrics = MetricsRegistry()
+        #: Test/chaos hook: called with the batch sources before each
+        #: kernel; raising a ReproError fails the batch.
+        self.fault_injector = fault_injector
+
+        self.clock = 0.0
+        self._graph_id = graph_cache_id(graph)
+        self._engine_key = engine_cache_key(self.engine.config)
+        self._device_free = [0.0] * self.serving.num_devices
+        self._completed: List[Response] = []
+        self._next_id = 0
+        self._next_batch_id = 0
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+    def submit(self, request: Request, arrival_time: Optional[float] = None) -> int:
+        """Admit one request; returns its id.
+
+        ``arrival_time`` is the simulated arrival (default: the current
+        clock); arrivals must be non-decreasing.  Raises
+        :class:`~repro.errors.QueueFullError` when the pending queue is
+        at capacity and :class:`~repro.errors.ServiceError` for
+        malformed requests.
+        """
+        now = self.clock if arrival_time is None else float(arrival_time)
+        if now < self.clock:
+            raise ServiceError(
+                f"arrival {now} is before the server clock {self.clock}"
+            )
+        self._validate(request)
+        self.advance_to(now)
+        self.metrics.record_submit(queue_depth=len(self.batcher))
+
+        request_id = self._next_id
+        self._next_id += 1
+
+        key = self.cache.key(
+            self._graph_id, request.source, self._engine_key, request.max_depth
+        )
+        row = self.cache.get(key)
+        if row is not None:
+            latency = self.serving.cache_hit_latency
+            self._finish(
+                Response(
+                    request_id=request_id,
+                    request=request,
+                    status=STATUS_OK,
+                    value=self._answer(request, row),
+                    completion_time=now + latency,
+                    latency=latency,
+                    cached=True,
+                    depths=self._maybe_depths(request, row),
+                )
+            )
+            return request_id
+
+        if len(self.batcher) >= self.serving.queue_capacity:
+            self.metrics.shed += 1
+            raise QueueFullError(
+                f"pending queue at capacity "
+                f"({self.serving.queue_capacity}); request shed"
+            )
+        timeout = (
+            request.timeout
+            if request.timeout is not None
+            else self.serving.default_timeout
+        )
+        deadline = now + timeout if timeout is not None else float("inf")
+        self.batcher.add(
+            PendingRequest(
+                request_id=request_id,
+                request=request,
+                arrival_time=now,
+                deadline=deadline,
+            )
+        )
+        self._dispatch(self.clock)
+        return request_id
+
+    def take_completed(self) -> List[Response]:
+        """Responses finished since the last call, in completion order."""
+        done, self._completed = self._completed, []
+        return done
+
+    def drain(self) -> List[Response]:
+        """Flush everything pending (ignoring deadlines) and return all
+        completed responses; the clock advances to the last completion."""
+        while len(self.batcher) > 0:
+            free = min(self._device_free)
+            self.clock = max(self.clock, free)
+            self._dispatch(self.clock, draining=True)
+        self.clock = max(self.clock, max(self._device_free))
+        return self.take_completed()
+
+    # ------------------------------------------------------------------
+    # Simulated-time machinery
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Advance the clock to the next internal flush event and
+        process it; returns False when nothing is pending."""
+        event = self._next_event()
+        if event is None:
+            return False
+        self.clock = max(self.clock, event)
+        self._dispatch(self.clock)
+        return True
+
+    def advance_to(self, t: float) -> None:
+        """Process every flush that triggers at or before time ``t``."""
+        while True:
+            event = self._next_event()
+            if event is None or event > t:
+                break
+            self.clock = max(self.clock, event)
+            self._dispatch(self.clock)
+        self.clock = max(self.clock, t)
+
+    def _next_event(self) -> Optional[float]:
+        """Earliest simulated time a batch can launch; None when idle."""
+        if len(self.batcher) == 0:
+            return None
+        free = min(self._device_free)
+        if self.batcher.size_ready():
+            return max(self.clock, free)
+        deadline = self.batcher.deadline_at()
+        expiry = min(p.deadline for p in self.batcher.pending)
+        return max(min(deadline, expiry), free)
+
+    def _dispatch(self, now: float, draining: bool = False) -> None:
+        """Launch batches while a device is free and a trigger holds."""
+        self._expire(now)
+        while len(self.batcher) > 0:
+            device = int(np.argmin(self._device_free))
+            if self._device_free[device] > now:
+                break
+            if self.batcher.size_ready():
+                trigger = "size"
+            elif self.batcher.deadline_ready(now):
+                trigger = "deadline"
+            elif draining:
+                trigger = "drain"
+            else:
+                break
+            self._launch(device, now, trigger)
+            self._expire(now)
+
+    def _expire(self, now: float) -> None:
+        """Time out requests whose deadline passed while still queued."""
+        for item in list(self.batcher.pending):
+            if item.deadline <= now:
+                self.batcher.drop(item)
+                self.metrics.timeouts += 1
+                self._finish(
+                    Response(
+                        request_id=item.request_id,
+                        request=item.request,
+                        status=STATUS_TIMEOUT,
+                        completion_time=item.deadline,
+                        latency=item.deadline - item.arrival_time,
+                        attempts=item.attempts + 1,
+                        error="timed out in queue",
+                    ),
+                    successful=False,
+                )
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+    def _launch(self, device: int, now: float, trigger: str) -> None:
+        sources, batch = self.batcher.take_batch()
+        for item in batch:
+            item.attempts += 1
+        max_depth = batch[0].max_depth
+
+        try:
+            if self.fault_injector is not None:
+                self.fault_injector(sources)
+            result = self.engine.run_group(sources, max_depth=max_depth)
+        except ReproError as exc:
+            self._handle_failure(batch, exc)
+            return
+
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+        completion = now + result.seconds
+        self._device_free[device] = completion
+        stats = result.groups[0]
+        self.metrics.record_batch(
+            BatchRecord(
+                batch_id=batch_id,
+                launch_time=now,
+                seconds=result.seconds,
+                num_requests=len(batch),
+                num_sources=len(sources),
+                batch_limit=self.batch_size,
+                sharing_degree=stats.sharing_degree,
+                trigger=trigger,
+            )
+        )
+
+        rows = {s: result.depths[i] for i, s in enumerate(sources)}
+        for source, row in rows.items():
+            self.cache.put(
+                self.cache.key(
+                    self._graph_id, source, self._engine_key, max_depth
+                ),
+                row,
+            )
+        for item in batch:
+            row = rows[item.source]
+            if completion > item.deadline:
+                self.metrics.timeouts += 1
+                self._finish(
+                    Response(
+                        request_id=item.request_id,
+                        request=item.request,
+                        status=STATUS_TIMEOUT,
+                        completion_time=completion,
+                        latency=completion - item.arrival_time,
+                        batch_id=batch_id,
+                        attempts=item.attempts,
+                        error="deadline exceeded during execution",
+                    ),
+                    successful=False,
+                )
+                continue
+            self._finish(
+                Response(
+                    request_id=item.request_id,
+                    request=item.request,
+                    status=STATUS_OK,
+                    value=self._answer(item.request, row),
+                    completion_time=completion,
+                    latency=completion - item.arrival_time,
+                    batch_id=batch_id,
+                    attempts=item.attempts,
+                    depths=self._maybe_depths(item.request, row),
+                )
+            )
+
+    def _handle_failure(
+        self, batch: List[PendingRequest], exc: ReproError
+    ) -> None:
+        """Retry each request once; fail those out of attempts."""
+        retry: List[PendingRequest] = []
+        for item in batch:
+            if item.attempts < self.serving.max_attempts:
+                self.metrics.retries += 1
+                retry.append(item)
+            else:
+                self.metrics.failures += 1
+                self._finish(
+                    Response(
+                        request_id=item.request_id,
+                        request=item.request,
+                        status=STATUS_FAILED,
+                        completion_time=self.clock,
+                        latency=self.clock - item.arrival_time,
+                        attempts=item.attempts,
+                        error=str(exc),
+                    ),
+                    successful=False,
+                )
+        # Requeue at the head, oldest first, so the retry batch flushes
+        # before newer traffic.
+        for item in sorted(retry, key=lambda p: p.arrival_time, reverse=True):
+            self.batcher._pending.insert(0, item)
+
+    # ------------------------------------------------------------------
+    # Answers and bookkeeping
+    # ------------------------------------------------------------------
+    def _validate(self, request: Request) -> None:
+        n = self.graph.num_vertices
+        if not 0 <= request.source < n:
+            raise ServiceError(f"source {request.source} out of range [0, {n})")
+        if request.target is not None and not 0 <= request.target < n:
+            raise ServiceError(f"target {request.target} out of range [0, {n})")
+
+    def _answer(self, request: Request, row: np.ndarray) -> float:
+        if request.kind == "reachability":
+            return float(row[request.target])
+        if request.kind == "closeness":
+            reached_mask = row > 0
+            reached = int(np.count_nonzero(reached_mask))
+            total = int(row[reached_mask].sum())
+            n = self.graph.num_vertices
+            if reached == 0 or total == 0 or n <= 1:
+                return 0.0
+            return (reached / (n - 1)) * (reached / total)
+        return float(np.count_nonzero(row >= 0))
+
+    def _maybe_depths(
+        self, request: Request, row: np.ndarray
+    ) -> Optional[np.ndarray]:
+        if self.serving.return_depths and request.kind == "bfs":
+            return row
+        return None
+
+    def _finish(self, response: Response, successful: bool = True) -> None:
+        if successful:
+            self.metrics.record_completion(response.latency, response.cached)
+        self._completed.append(response)
+
+    def metrics_snapshot(self, elapsed: Optional[float] = None) -> dict:
+        """Metrics JSON payload including cache statistics."""
+        if elapsed is None:
+            elapsed = self.clock
+        return self.metrics.snapshot(
+            elapsed=elapsed, cache_stats=self.cache.stats()
+        )
+
+
+class InProcessClient:
+    """Synchronous convenience client: each call submits one request at
+    the server's current clock and drains it to completion."""
+
+    def __init__(self, server: BFSServer) -> None:
+        self.server = server
+
+    def _ask(self, request: Request) -> Response:
+        request_id = self.server.submit(request)
+        for response in self.server.drain():
+            if response.request_id == request_id:
+                return response
+        raise ServiceError(f"request {request_id} produced no response")
+
+    def bfs(self, source: int, max_depth: Optional[int] = None) -> Response:
+        return self._ask(Request(source=source, kind="bfs", max_depth=max_depth))
+
+    def reachable(
+        self, source: int, target: int, k: Optional[int] = None
+    ) -> bool:
+        response = self._ask(
+            Request(source=source, kind="reachability", target=target,
+                    max_depth=k)
+        )
+        if not response.ok:
+            raise ServiceError(response.error or "reachability query failed")
+        return response.value >= 0
+
+    def closeness(self, source: int) -> float:
+        response = self._ask(Request(source=source, kind="closeness"))
+        if not response.ok:
+            raise ServiceError(response.error or "closeness query failed")
+        return float(response.value)

@@ -80,9 +80,19 @@ def test_generation_is_process_stable():
     """Benchmark graphs must not depend on Python hash randomization —
     a prior bug seeded them with hash(name), which varies per process
     and silently made benchmark results irreproducible."""
+    import os
     import subprocess
     import sys
 
+    import repro
+
+    # The child needs to import repro; the parent may be running from a
+    # src/ checkout rather than an installed package, so propagate the
+    # package location (plus any existing PYTHONPATH) explicitly.
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    pythonpath = os.pathsep.join(
+        [src_dir] + [p for p in os.environ.get("PYTHONPATH", "").split(os.pathsep) if p]
+    )
     script = (
         "from repro.graph.benchmarks import benchmark_graph;"
         "g = benchmark_graph('OR', scale_delta=-3);"
@@ -94,7 +104,11 @@ def test_generation_is_process_stable():
             [sys.executable, "-c", script],
             capture_output=True,
             text=True,
-            env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+            env={
+                "PYTHONHASHSEED": hash_seed,
+                "PATH": "/usr/bin:/bin",
+                "PYTHONPATH": pythonpath,
+            },
         )
         assert completed.returncode == 0, completed.stderr
         outputs.add(completed.stdout.strip())

@@ -1,0 +1,108 @@
+"""Serving determinism: the online path answers exactly like batch mode,
+and identical request streams reproduce bit-identical runs."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import kronecker, rmat
+from repro.bfs.reference import reference_bfs
+from repro.core.engine import IBFS, IBFSConfig
+from repro.service import (
+    BFSServer,
+    Request,
+    ServingConfig,
+    WorkloadConfig,
+    run_closed_loop,
+    sample_sources,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return kronecker(scale=8, edge_factor=8, seed=3)
+
+
+def test_served_depths_match_direct_engine_run(graph):
+    """Same sources through the server and through IBFS.run: same depths."""
+    sources = [3, 9, 17, 21, 40, 55, 60, 77]
+    engine = IBFS(graph, IBFSConfig(group_size=8))
+    direct = engine.run(sources, store_depths=True)
+
+    server = BFSServer(
+        graph,
+        ServingConfig(batch_size=8, return_depths=True, cache_capacity=0),
+    )
+    for s in sources:
+        server.submit(Request(source=s), arrival_time=0.0)
+    responses = {r.request.source: r for r in server.drain()}
+
+    assert sorted(responses) == sorted(sources)
+    for s in sources:
+        assert responses[s].ok
+        assert np.array_equal(responses[s].depths, direct.depth_row(s))
+        assert np.array_equal(responses[s].depths, reference_bfs(graph, s))
+
+
+def test_cached_answers_equal_fresh_answers(graph):
+    """A cache hit returns the same depths the traversal produced."""
+    server = BFSServer(graph, ServingConfig(batch_size=4, return_depths=True))
+    server.submit(Request(source=5), arrival_time=0.0)
+    first = server.drain()[0]
+    server.submit(Request(source=5), arrival_time=1.0)
+    second = server.take_completed()[0]
+    assert second.cached
+    assert np.array_equal(first.depths, second.depths)
+
+
+def test_identical_streams_reproduce_bit_identical_runs():
+    """Same (graph, workload, config): same latencies, metrics, answers."""
+    graph = rmat(scale=9, edge_factor=8, seed=11)
+    workload = WorkloadConfig(
+        num_requests=150, num_clients=16, zipf_exponent=1.0, seed=4
+    )
+    serving = ServingConfig(batch_size=16, flush_deadline=2e-5)
+
+    def run():
+        return run_closed_loop(BFSServer(graph, serving), workload)
+
+    a, b = run(), run()
+    assert a.completed == b.completed == workload.num_requests
+    assert a.elapsed == b.elapsed
+    assert a.throughput == b.throughput
+    assert a.metrics == b.metrics
+    assert [(r.request_id, r.latency, r.value) for r in a.responses] == \
+           [(r.request_id, r.latency, r.value) for r in b.responses]
+
+
+def test_sampled_sources_are_deterministic_and_skewed():
+    graph = rmat(scale=9, edge_factor=8, seed=11)
+    a = sample_sources(graph, 200, 1.1, seed=5)
+    b = sample_sources(graph, 200, 1.1, seed=5)
+    assert a == b
+    assert sample_sources(graph, 200, 1.1, seed=6) != a
+    # Skew: the most popular source appears far above the uniform rate,
+    # and it is a high-degree vertex.
+    counts = {}
+    for s in a:
+        counts[s] = counts.get(s, 0) + 1
+    hottest = max(counts, key=counts.get)
+    assert counts[hottest] > 5 * (200 / graph.num_vertices)
+    degrees = graph.out_degrees()
+    assert degrees[hottest] >= np.percentile(degrees, 95)
+
+
+def test_closed_loop_answers_match_reference():
+    """Every ok response in a load-generated run carries the right value."""
+    graph = rmat(scale=9, edge_factor=8, seed=11)
+    workload = WorkloadConfig(
+        num_requests=80, num_clients=8, zipf_exponent=1.2, seed=2
+    )
+    result = run_closed_loop(BFSServer(graph), workload)
+    assert result.completed == workload.num_requests
+    expected = {}
+    for response in result.responses:
+        source = response.request.source
+        if source not in expected:
+            depths = reference_bfs(graph, source)
+            expected[source] = float(np.count_nonzero(depths >= 0))
+        assert response.value == expected[source]
