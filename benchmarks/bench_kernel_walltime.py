@@ -1,0 +1,218 @@
+#!/usr/bin/env python
+"""Wall-clock TEPS harness for the kernels-backed engines.
+
+Unlike the ``bench_fig*`` suite, which reports *simulated* metrics,
+this harness measures real host wall time: each configuration runs the
+live engine (built on :mod:`repro.kernels`) and the frozen pre-kernels
+reference engine (:mod:`repro.kernels.reference`) on the same graph and
+sources, takes the best of ``--repeats`` runs, and reports traversed
+edges per second for both plus the speedup.  The simulated counters of
+the two engines are asserted equal on every run, so a speedup can never
+come from doing different work.
+
+Results are written to ``BENCH_core.json`` at the repo root (or
+``--output``).  ``--check BENCH_core.json`` re-runs the measurement and
+fails (exit 1) if any configuration's speedup dropped below half the
+committed value — a >2x TEPS regression relative to the recorded
+baseline, expressed as a ratio so the check is machine-independent.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_walltime.py          # full
+    PYTHONPATH=src python benchmarks/bench_kernel_walltime.py --quick  # CI
+    PYTHONPATH=src python benchmarks/bench_kernel_walltime.py --quick \
+        --check BENCH_core.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.bitwise import BitwiseTraversal
+from repro.core.joint import JointTraversal
+from repro.graph.generators import rmat
+from repro.kernels.reference import (
+    ReferenceBitwiseTraversal,
+    ReferenceJointTraversal,
+)
+
+SOURCE_SEED = 11
+
+#: (name, scale, edge_factor, group_size, engine kind) per mode.  Low
+#: edge factor keeps diameters high, so per-level fixed costs — exactly
+#: what the kernels rewrite attacks — dominate the reference engine.
+FULL_CONFIGS = [
+    ("bitwise-rmat18-ef2-gs64", 18, 2, 64, "bitwise"),
+    ("bitwise-rmat19-ef2-gs64", 19, 2, 64, "bitwise"),
+    ("msbfs-rmat16-ef2-gs64", 16, 2, 64, "msbfs"),
+    ("joint-rmat13-ef8-gs32", 13, 8, 32, "joint"),
+]
+QUICK_CONFIGS = [
+    ("bitwise-rmat15-ef2-gs64", 15, 2, 64, "bitwise"),
+    ("joint-rmat11-ef8-gs32", 11, 8, 32, "joint"),
+]
+# Full mode also runs the quick configs so the committed baseline
+# carries entries --quick --check can match against in CI.
+FULL_CONFIGS = QUICK_CONFIGS + FULL_CONFIGS
+
+ENGINE_PAIRS = {
+    "bitwise": (
+        lambda g: BitwiseTraversal(g),
+        lambda g: ReferenceBitwiseTraversal(g),
+    ),
+    "msbfs": (
+        lambda g: BitwiseTraversal(
+            g,
+            early_termination=False,
+            reset_per_level=True,
+            thread_per_instance=True,
+        ),
+        lambda g: ReferenceBitwiseTraversal(
+            g,
+            early_termination=False,
+            reset_per_level=True,
+            thread_per_instance=True,
+        ),
+    ),
+    "joint": (
+        lambda g: JointTraversal(g),
+        lambda g: ReferenceJointTraversal(g),
+    ),
+}
+
+
+def time_engine(make_engine, graph, sources, repeats):
+    """Best-of-``repeats`` wall time plus the run's traversed edges."""
+    best = float("inf")
+    edges = None
+    counters = None
+    for _ in range(repeats):
+        engine = make_engine(graph)
+        start = time.perf_counter()
+        _, record, _ = engine.run_group(sources)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+        edges = record.counters.edges_traversed
+        counters = record.counters.__dict__
+    return best, edges, counters
+
+
+def run_config(name, scale, edge_factor, group_size, kind, repeats):
+    graph = rmat(scale, edge_factor=edge_factor, seed=3)
+    rng = np.random.default_rng(SOURCE_SEED)
+    sources = rng.integers(0, graph.num_vertices, size=group_size).tolist()
+    make_after, make_before = ENGINE_PAIRS[kind]
+
+    after_s, after_edges, after_counters = time_engine(
+        make_after, graph, sources, repeats
+    )
+    before_s, before_edges, before_counters = time_engine(
+        make_before, graph, sources, repeats
+    )
+    if after_counters != before_counters:
+        raise AssertionError(
+            f"{name}: kernels engine diverged from reference counters"
+        )
+
+    return {
+        "name": name,
+        "graph": f"rmat scale={scale} edge_factor={edge_factor} seed=3",
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "group_size": group_size,
+        "engine": kind,
+        "edges_traversed": after_edges,
+        "before": {"seconds": before_s, "teps": before_edges / before_s},
+        "after": {"seconds": after_s, "teps": after_edges / after_s},
+        "speedup": before_s / after_s,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small graphs, fewer repeats (CI perf smoke)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="timing repeats per engine"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="result JSON path (default: BENCH_core.json at repo root; "
+        "BENCH_core.quick.json in --quick mode)",
+    )
+    parser.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        help="committed baseline JSON; exit 1 if any config's measured "
+        "speedup is below half its recorded speedup",
+    )
+    args = parser.parse_args(argv)
+
+    configs = QUICK_CONFIGS if args.quick else FULL_CONFIGS
+    repeats = args.repeats or (2 if args.quick else 3)
+    root = Path(__file__).resolve().parent.parent
+    output = args.output or (
+        root / ("BENCH_core.quick.json" if args.quick else "BENCH_core.json")
+    )
+
+    results = []
+    for cfg in configs:
+        print(f"[{cfg[0]}] running ({repeats} repeats per engine)...", flush=True)
+        entry = run_config(*cfg, repeats)
+        results.append(entry)
+        print(
+            f"  before {entry['before']['seconds']:.3f}s "
+            f"({entry['before']['teps'] / 1e6:.1f} MTEPS)  "
+            f"after {entry['after']['seconds']:.3f}s "
+            f"({entry['after']['teps'] / 1e6:.1f} MTEPS)  "
+            f"speedup {entry['speedup']:.2f}x",
+            flush=True,
+        )
+
+    payload = {
+        "benchmark": "kernel_walltime",
+        "mode": "quick" if args.quick else "full",
+        "repeats": repeats,
+        "metric": "wall-clock TEPS (simulated-counter edges / host seconds)",
+        "results": results,
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+
+    if args.check is not None:
+        baseline = json.loads(args.check.read_text())
+        recorded = {r["name"]: r["speedup"] for r in baseline["results"]}
+        failed = False
+        for entry in results:
+            floor = recorded.get(entry["name"])
+            if floor is None:
+                continue
+            if entry["speedup"] < floor / 2:
+                print(
+                    f"REGRESSION {entry['name']}: speedup "
+                    f"{entry['speedup']:.2f}x < half of recorded "
+                    f"{floor:.2f}x",
+                    file=sys.stderr,
+                )
+                failed = True
+        if failed:
+            return 1
+        print("perf check passed: no config below half its recorded speedup")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

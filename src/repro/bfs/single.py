@@ -24,6 +24,7 @@ from repro.graph.csr import CSRGraph, VERTEX_DTYPE
 from repro.gpusim.counters import LevelRecord, RunRecord
 from repro.gpusim.device import Device
 from repro.bfs.direction import Direction, DirectionPolicy
+from repro.kernels import bucketed_hit_scan, round_major_probes
 from repro.util import gather_neighbors
 
 #: Bytes of one per-vertex status entry (depth byte in the status array).
@@ -219,25 +220,21 @@ class SingleBFS:
         active = unvisited
         starts = offsets[active]
         ends = offsets[active + 1]
-        probes = np.zeros(active.size, dtype=np.int64)
-        found = np.zeros(active.size, dtype=bool)
-        probed_ids_parts = []
-        round_idx = 0
-        while True:
-            alive = ~found & (starts + round_idx < ends)
-            if not alive.any():
-                break
-            slots = starts[alive] + round_idx
-            probed = indices[slots]
-            probed_ids_parts.append(probed)
-            probes[alive] += 1
-            # "Visited" here means depth assigned at an earlier level;
-            # vertices discovered during this same level carry depth
-            # level + 1 and must not count as parents yet.
-            parent_found = (depths[probed] >= 0) & (depths[probed] <= level)
-            hit = np.flatnonzero(alive)[parent_found]
-            found[hit] = True
-            round_idx += 1
+
+        # "Visited" here means depth assigned at an earlier level;
+        # vertices discovered during this same level carry depth
+        # level + 1 and must not count as parents yet.  The scan itself
+        # runs as degree-bucketed vector passes; per-vertex probe counts
+        # and first-hit results are identical to the synchronized round
+        # loop, and the round-major probe stream is reconstructed for
+        # the coalescing model.
+        def parent_hit(_positions: np.ndarray, nb: np.ndarray) -> np.ndarray:
+            parent_depth = depths[nb]
+            return (parent_depth >= 0) & (parent_depth <= level)
+
+        probes, found = bucketed_hit_scan(
+            indices, starts, ends - starts, parent_hit
+        )
 
         discovered = active[found]
         depths[discovered] = level + 1
@@ -251,11 +248,7 @@ class SingleBFS:
         counters.frontier_enqueues += int(active.size)
         counters.levels += 1
 
-        probed_ids = (
-            np.concatenate(probed_ids_parts)
-            if probed_ids_parts
-            else np.empty(0, dtype=VERTEX_DTYPE)
-        )
+        probed_ids = round_major_probes(indices, starts, probes)
         loads = mem.stream_transactions(int(active.size) * 8)
         per_line = self.device.config.entries_per_transaction
         loads += int(np.sum((probes + per_line - 1) // per_line))

@@ -16,6 +16,14 @@ the property MS-BFS forfeits by resetting its status array each level.
 :class:`BitwiseTraversal` exposes ``early_termination`` and
 ``reset_per_level`` switches so the MS-BFS baseline can reuse this
 engine with the paper's described differences.
+
+Host-side execution runs on the :mod:`repro.kernels` primitives: the
+top-down scatter is a segmented reduction, ``BSA_k`` is kept as a
+dirty-row snapshot instead of a full copy, bottom-up scans are
+degree-bucketed vector passes, and per-instance bookkeeping is one
+vectorized pass over the depth matrix.  All simulated counters are
+bit-identical to the frozen reference implementation
+(:mod:`repro.kernels.reference`); the equivalence suite enforces it.
 """
 
 from __future__ import annotations
@@ -31,7 +39,17 @@ from repro.gpusim.device import Device
 from repro.bfs.direction import Direction, DirectionPolicy
 from repro.core.result import GroupStats
 from repro.core.sharing import SharingObserver
-from repro.core.status_array import instance_masks, lanes_for
+from repro.core.status_array import combine_masks, instance_masks, lanes_for
+from repro.kernels import (
+    LevelWorkspace,
+    bucketed_or_scan,
+    per_bit_counts,
+    per_bit_weighted,
+    round_major_probes,
+    scatter_or,
+    scatter_plan,
+    unpack_lane_bits,
+)
 from repro.util import gather_neighbors
 
 INSTRUCTIONS_PER_INSPECTION = 6
@@ -106,6 +124,10 @@ class BitwiseTraversal:
         self.vector_width = vector_width
         self.direction_mode = direction_mode
         self._reverse = graph.reverse() if self.policy.allow_bottom_up else None
+        #: Out-degree view, hoisted once per traversal object (the hot
+        #: loops used to look it up several times per level).
+        self._out_degrees = graph.out_degrees()
+        self._workspace: Optional[LevelWorkspace] = None
 
     # ------------------------------------------------------------------
     def run_group(
@@ -130,15 +152,52 @@ class BitwiseTraversal:
         lanes = lanes_for(group_size)
         masks = instance_masks(group_size)
         bsa = np.zeros((n, lanes), dtype=np.uint64)
-        depths = np.full((group_size, n), UNVISITED, dtype=np.int32)
+        # Depths live vertex-major during the traversal so each level's
+        # update is a contiguous row gather / masked fill / write-back
+        # over the changed rows; one transpose at the end restores the
+        # (group_size, n) result layout.  The narrowest dtype that can
+        # hold the depths seen so far keeps the update traffic small
+        # (int8 covers diameter < 126 — almost every real input); the
+        # loop widens it well before overflow.
+        depths_vm = np.full((n, group_size), UNVISITED, dtype=np.int8)
         for j, s in enumerate(sources):
             bsa[s] |= masks[j]
-            depths[j, s] = 0
+            depths_vm[s, j] = 0
+
+        workspace = self._workspace
+        if (
+            workspace is None
+            or workspace.num_vertices != n
+            or workspace.lanes != lanes
+        ):
+            workspace = LevelWorkspace(n, lanes)
+            self._workspace = workspace
 
         directions = [self.policy.initial()] * group_size
         active = np.ones(group_size, dtype=bool)
-        out_degrees = self.graph.out_degrees()
+        out_degrees = self._out_degrees
         total_edges = self.graph.num_edges
+        # Running per-instance visited-degree sum: every vertex joins the
+        # frontier exactly once, so accumulating new-frontier degrees is
+        # the dense "sum over depth >= 0" recomputed each level.
+        visited_deg = out_degrees[np.asarray(sources, dtype=np.int64)].astype(
+            np.int64
+        )
+        # Current-frontier degree sum per instance (depth == level); at
+        # level 0 the frontier is exactly the source.
+        frontier_deg = visited_deg.copy()
+        # Current frontier as (rows, diff-words): row i of the frontier
+        # gained exactly the instance bits set in diff[i] last level, so
+        # depth[j, v] == level iff bit j of the row's word is set.  Each
+        # level's dirty-row diff IS the next level's frontier — no dense
+        # (group_size, n) scan ever runs.
+        uniq_src, src_inv = np.unique(
+            np.asarray(sources, dtype=np.int64), return_inverse=True
+        )
+        init_diff = np.zeros((uniq_src.size, lanes), dtype=np.uint64)
+        np.bitwise_or.at(init_diff, src_inv, masks)
+        frontier = (uniq_src, init_diff)
+        frontier_counts = np.ones(group_size, dtype=np.int64)
 
         record = RunRecord()
         observer = SharingObserver(group_size)
@@ -151,6 +210,10 @@ class BitwiseTraversal:
                 break
             if level > n + 1:
                 raise TraversalError("traversal failed to converge")
+            if level >= 120 and depths_vm.dtype == np.int8:
+                depths_vm = depths_vm.astype(np.int16)
+            elif level >= 32000 and depths_vm.dtype == np.int16:
+                depths_vm = depths_vm.astype(np.int32)
             td_instances = [
                 j for j in range(group_size)
                 if active[j] and directions[j] is Direction.TOP_DOWN
@@ -159,10 +222,11 @@ class BitwiseTraversal:
                 j for j in range(group_size)
                 if active[j] and directions[j] is Direction.BOTTOM_UP
             ]
-            progressed = self._level(
+            progressed, counts, frontier_edges, frontier = self._level(
                 bsa,
-                depths,
+                depths_vm,
                 masks,
+                workspace,
                 td_instances,
                 bu_instances,
                 level,
@@ -170,37 +234,40 @@ class BitwiseTraversal:
                 observer,
                 sharing_log,
                 bu_inspections,
+                frontier_deg,
+                frontier,
+                frontier_counts,
             )
+            frontier_counts = counts
+            visited_deg += frontier_edges
+            unexplored = total_edges - visited_deg
+            frontier_deg = frontier_edges
             group_frontier_edges = 0
             group_unexplored = 0
             group_frontier_count = 0
             for j in range(group_size):
                 if not active[j]:
                     continue
-                new_frontier = depths[j] == level + 1
-                frontier_count = int(np.count_nonzero(new_frontier))
                 if directions[j] is Direction.TOP_DOWN:
-                    if frontier_count == 0:
+                    if counts[j] == 0:
                         active[j] = False
                         continue
                 else:
                     if not progressed[j]:
                         active[j] = False
                         continue
-                frontier_edges = int(out_degrees[new_frontier].sum())
-                unexplored = total_edges - int(out_degrees[depths[j] >= 0].sum())
                 if self.direction_mode == "per-instance":
                     directions[j] = self.policy.next_direction(
                         directions[j],
-                        frontier_edges,
-                        unexplored,
-                        frontier_count,
+                        int(frontier_edges[j]),
+                        int(unexplored[j]),
+                        int(counts[j]),
                         n,
                     )
                 else:
-                    group_frontier_edges += frontier_edges
-                    group_unexplored += unexplored
-                    group_frontier_count += frontier_count
+                    group_frontier_edges += int(frontier_edges[j])
+                    group_unexplored += int(unexplored[j])
+                    group_frontier_count += int(counts[j])
             if self.direction_mode == "per-group" and active.any():
                 # One vote on aggregate statistics; every live instance
                 # follows it (the "still" per-instance Direction state
@@ -220,6 +287,7 @@ class BitwiseTraversal:
             level += 1
 
         record.counters.kernel_launches += 1
+        depths = np.ascontiguousarray(depths_vm.T, dtype=np.int32)
         seconds = self.device.cost.kernel_time(record.levels)
         stats = GroupStats(
             sources=sources,
@@ -240,8 +308,9 @@ class BitwiseTraversal:
     def _level(
         self,
         bsa: np.ndarray,
-        depths: np.ndarray,
+        depths_vm: np.ndarray,
         masks: np.ndarray,
+        workspace: LevelWorkspace,
         td_instances: List[int],
         bu_instances: List[int],
         level: int,
@@ -249,32 +318,48 @@ class BitwiseTraversal:
         observer: SharingObserver,
         sharing_log: dict,
         bu_inspections: np.ndarray,
-    ) -> np.ndarray:
+        frontier_deg: np.ndarray,
+        frontier,
+        frontier_counts: np.ndarray,
+    ):
         mem = self.device.memory
         counters = record.counters
-        group_size = depths.shape[0]
-        num_vertices = depths.shape[1]
+        group_size = masks.shape[0]
+        num_vertices = depths_vm.shape[0]
         lanes = bsa.shape[1]
         word_bytes = lanes * 8
         progressed = np.zeros(group_size, dtype=bool)
+        counts = np.zeros(group_size, dtype=np.int64)
+        fdeg_next = np.zeros(group_size, dtype=np.int64)
+        out_degrees = self._out_degrees
 
-        td_mask = (
-            np.any(depths[td_instances] == level, axis=0)
-            if td_instances
-            else np.zeros(num_vertices, dtype=bool)
-        )
-        bu_mask_vertices = (
-            np.any(depths[bu_instances] == UNVISITED, axis=0)
-            if bu_instances
-            else np.zeros(num_vertices, dtype=bool)
-        )
+        # Frontier masks come from sparse state, never a (group_size, n)
+        # scan: the top-down frontier is last level's changed rows whose
+        # diff word intersects a top-down instance bit; the bottom-up
+        # frontier reads unset bits straight off the BSA words (depth is
+        # UNVISITED iff the bit is unset — bits are monotone and
+        # extraction mirrors them exactly).
+        changed_prev, diff_prev = frontier
+        td_mask = np.zeros(num_vertices, dtype=bool)
+        fq_td = 0
+        if td_instances:
+            fq_td = int(frontier_counts[td_instances].sum())
+            if changed_prev.size:
+                td_sel = combine_masks(masks, td_instances)
+                hit = (diff_prev[:, 0] & td_sel[0]) != 0
+                for lane in range(1, lanes):
+                    hit |= (diff_prev[:, lane] & td_sel[lane]) != 0
+                td_mask[changed_prev[hit]] = True
+        if bu_instances:
+            bu_lane_mask = combine_masks(masks, bu_instances)
+            unset = (~bsa) & bu_lane_mask
+            bu_mask_vertices = np.any(unset != 0, axis=1)
+            fq_bu = int(np.bitwise_count(unset).sum())
+        else:
+            bu_lane_mask = None
+            bu_mask_vertices = np.zeros(num_vertices, dtype=bool)
+            fq_bu = 0
         jfq_size = int(np.count_nonzero(td_mask | bu_mask_vertices))
-        fq_td = sum(
-            int(np.count_nonzero(depths[j] == level)) for j in td_instances
-        )
-        fq_bu = sum(
-            int(np.count_nonzero(depths[j] == UNVISITED)) for j in bu_instances
-        )
         observer.record_level(fq_td + fq_bu, jfq_size)
         sharing_log["td"].append((fq_td, int(np.count_nonzero(td_mask))))
         sharing_log["bu"].append(
@@ -283,9 +368,13 @@ class BitwiseTraversal:
         if jfq_size == 0:
             record.append(LevelRecord(depth=level, direction="td"))
             counters.levels += 1
-            return progressed
+            empty_frontier = (
+                np.empty(0, dtype=np.int64),
+                np.empty((0, lanes), dtype=np.uint64),
+            )
+            return progressed, counts, fdeg_next, empty_frontier
 
-        snapshot = bsa.copy()
+        workspace.begin_level()
         loads = 0
         stores = 0
         load_requests = 0
@@ -296,22 +385,29 @@ class BitwiseTraversal:
         # workload does not shrink under sharing); physical inspections
         # count the single-thread bitwise operations actually executed.
         logical_edges = 0
-        out_degrees = self.graph.out_degrees()
-        for j in td_instances:
-            logical_edges += int(out_degrees[depths[j] == level].sum())
+        if td_instances:
+            # frontier_deg[j] is the degree sum over depth[j] == level —
+            # the same per-instance row sums the dense eq-matrix product
+            # would produce.
+            logical_edges += int(frontier_deg[td_instances].sum())
 
         # --- Top-down pass: BSA[v] |= BSA_k[f] ------------------------
         td_frontier = np.flatnonzero(td_mask).astype(VERTEX_DTYPE)
         if td_frontier.size:
-            td_lane_mask = _combine_masks(masks, td_instances)
-            frontier_words = snapshot[td_frontier] & td_lane_mask
-            degrees = self.graph.out_degrees()[td_frontier]
-            sources_rep, neighbors = gather_neighbors(self.graph, td_frontier)
+            td_lane_mask = combine_masks(masks, td_instances)
+            # BSA_k values: nothing has written this level yet.
+            frontier_words = bsa[td_frontier] & td_lane_mask
+            degrees = out_degrees[td_frontier]
+            _, neighbors = gather_neighbors(self.graph, td_frontier)
             # One thread per frontier performs one OR per neighbor,
             # regardless of how many instances share the frontier.
             inspections_level += int(neighbors.size)
-            word_per_pair = np.repeat(frontier_words, degrees, axis=0)
-            np.bitwise_or.at(bsa, neighbors, word_per_pair)
+            plan = scatter_plan(neighbors)
+            workspace.stash_rows(bsa, plan.unique_targets)
+            word_index = np.repeat(
+                np.arange(td_frontier.size, dtype=np.int64), degrees
+            )
+            scatter_or(bsa, neighbors, frontier_words, plan, word_index)
 
             loads += mem.stream_transactions(td_frontier.size * 8)
             frontier_ld, frontier_req = mem.coalesced_transactions(
@@ -324,7 +420,7 @@ class BitwiseTraversal:
             load_requests += frontier_req + nb_req
             # Shared-memory merging inside each CTA collapses duplicate
             # neighbor updates; only the merged words hit global atomics.
-            unique_targets = np.unique(neighbors)
+            unique_targets = plan.unique_targets
             atomics += int(unique_targets.size)
             counters.shared_memory_accesses += int(
                 neighbors.size - unique_targets.size
@@ -335,10 +431,9 @@ class BitwiseTraversal:
 
         # --- Bottom-up pass: BSA[f] |= BSA_k[v], early termination ----
         if bu_instances:
-            bu_lane_mask = _combine_masks(masks, bu_instances)
             tally_before = int(bu_inspections.sum())
             probes_total, early, updated = self._bottom_up_pass(
-                bsa, snapshot, bu_mask_vertices, bu_lane_mask, bu_inspections
+                bsa, workspace, bu_mask_vertices, bu_lane_mask, bu_inspections
             )
             logical_edges += int(bu_inspections.sum()) - tally_before
             inspections_level += probes_total
@@ -364,16 +459,29 @@ class BitwiseTraversal:
             # avoiding atomics (section 6, Summary).
 
         # --- Depth extraction (frontier identification, Algorithm 2) --
-        diff = bsa ^ snapshot
-        changed = np.flatnonzero(np.any(diff != 0, axis=1))
-        for j in (*td_instances, *bu_instances):
-            lane, bit = divmod(j, 64)
-            got = changed[
-                (diff[changed, lane] >> np.uint64(bit)) & np.uint64(1) != 0
-            ]
-            if got.size:
-                depths[j, got] = level + 1
-                progressed[j] = True
+        # Only dirty rows can differ from BSA_k; the workspace hands back
+        # exactly the rows a full-array XOR would find, with their diffs.
+        # Bit j of a diff word is set iff vertex v first gained instance
+        # j's bit this level, i.e. depth[j, v] == level + 1 — so the
+        # vertex-major depth rows take one masked fill, the per-instance
+        # statistics come from histogram folds over the packed words
+        # (O(changed bytes), not O(new pairs)), and (changed, diff) IS
+        # next level's frontier.
+        changed, diff = workspace.changed(bsa)
+        if changed.size:
+            counts += per_bit_counts(diff, group_size)
+            fdeg_next += per_bit_weighted(
+                diff, out_degrees[changed], group_size
+            )
+            # A newly set bit's depth cell still holds UNVISITED (-1), so
+            # adding (level + 2) exactly where bits are set rewrites it
+            # to level + 1 with pure SIMD arithmetic — no boolean-where
+            # pass.  Rows in ``changed`` are unique, so the fancy-indexed
+            # in-place add is a plain gather/add/scatter.
+            upd = unpack_lane_bits(diff, group_size).astype(depths_vm.dtype)
+            upd *= depths_vm.dtype.type(level + 2)
+            depths_vm[changed] += upd
+            progressed = counts > 0
 
         # Identification scans BSA_k and BSA_{k+1}; MS-BFS additionally
         # rewrites its per-level visit array.  Vector loads (long2/long4)
@@ -417,13 +525,13 @@ class BitwiseTraversal:
                 frontier_size=jfq_size,
             )
         )
-        return progressed
+        return progressed, counts, fdeg_next, (changed, diff)
 
     # ------------------------------------------------------------------
     def _bottom_up_pass(
         self,
         bsa: np.ndarray,
-        snapshot: np.ndarray,
+        workspace: LevelWorkspace,
         bu_mask_vertices: np.ndarray,
         bu_lane_mask: np.ndarray,
         bu_inspections: np.ndarray,
@@ -432,11 +540,16 @@ class BitwiseTraversal:
 
         A single thread serves each frontier; with early termination it
         stops at the first prefix of the neighbor list that fills every
-        tracked bit.  Returns ``(probes, early_terminations,
-        updated_vertices)``, stashes per-vertex probe counts for the
-        caller's transaction accounting, and attributes per-instance
-        inspection counts (an instance "inspects" a vertex while its own
-        bit is still unset — figure 11's balance metric).
+        tracked bit.  The scan itself runs as degree-bucketed vector
+        passes (:func:`~repro.kernels.bottomup.bucketed_or_scan`); the
+        per-instance inspection attribution (an instance "inspects" a
+        vertex while its own bit is still unset — figure 11's balance
+        metric) and the round-major probe stream for the transaction
+        model come out identical to the synchronized round loop.
+
+        Returns ``(probes, early_terminations, updated_vertices)`` and
+        stashes per-vertex probe counts for the caller's transaction
+        accounting.
         """
         assert self._reverse is not None
         rev = self._reverse
@@ -446,66 +559,44 @@ class BitwiseTraversal:
         frontier = np.flatnonzero(bu_mask_vertices).astype(VERTEX_DTYPE)
         starts = offsets[frontier]
         ends = offsets[frontier + 1]
-        state = snapshot[frontier] & bu_lane_mask
-        acc = np.zeros_like(state)
-        target = np.broadcast_to(bu_lane_mask, state.shape)
-        done = np.all(state == target, axis=1) if self.early_termination else (
-            np.zeros(frontier.size, dtype=bool)
+        state = workspace.snapshot_rows(bsa, frontier)
+        state &= bu_lane_mask
+        probes, acc, done, stream = bucketed_or_scan(
+            indices,
+            starts,
+            ends,
+            state,
+            bu_lane_mask,
+            bu_lane_mask,
+            self.early_termination,
+            lambda rows: workspace.snapshot_rows(bsa, rows),
+            bu_inspections,
         )
-        probes = np.zeros(frontier.size, dtype=np.int64)
-        probed_parts: List[np.ndarray] = []
-        round_idx = 0
-        while True:
-            alive = ~done & (starts + round_idx < ends)
-            if not alive.any():
-                break
-            alive_idx = np.flatnonzero(alive)
-            nb = indices[starts[alive_idx] + round_idx]
-            probed_parts.append(nb)
-            probes[alive_idx] += 1
-            # Instances whose bit is still unset are the ones logically
-            # probing this round; tally their inspections.
-            pending = (~(state[alive_idx] | acc[alive_idx])) & bu_lane_mask
-            bu_inspections += _per_bit_counts(pending, bu_inspections.size)
-            contribution = snapshot[nb] & bu_lane_mask
-            acc[alive_idx] |= contribution
-            if self.early_termination:
-                state_alive = state[alive_idx] | acc[alive_idx]
-                full = np.all(state_alive == target[alive_idx], axis=1)
-                done[alive_idx[full]] = True
-            round_idx += 1
 
-        np.bitwise_or.at(bsa, frontier, acc)
+        # "Updated" for the store model compares against BSA_k (the
+        # reference formula); the dirty stash tracks rows whose *live*
+        # value actually changes.
+        if bsa.shape[1] == 1:
+            accf = acc.reshape(-1)
+            statef = state.reshape(-1)
+            bsaf = bsa.reshape(-1)
+            updated = frontier[(accf | statef) != statef]
+            current = np.take(bsaf, frontier)
+            workspace.stash_rows(bsa, frontier[(current | accf) != current])
+            bsaf[frontier] = current | accf
+        else:
+            updated = frontier[np.any((acc | state) != state, axis=1)]
+            current = bsa[frontier]
+            workspace.stash_rows(
+                bsa, frontier[np.any((current | acc) != current, axis=1)]
+            )
+            bsa[frontier] |= acc
+
         early = int(np.count_nonzero(done & (probes < (ends - starts))))
-        updated = frontier[np.any((acc | state) != state, axis=1)]
         self._per_vertex_probes = probes
-        self._probed_neighbors = (
-            np.concatenate(probed_parts)
-            if probed_parts
-            else np.empty(0, dtype=VERTEX_DTYPE)
-        )
+        # Early-termination scans emit the round-major stream directly;
+        # full scans (MS-BFS) reconstruct it from per-vertex counts.
+        if stream is None:
+            stream = round_major_probes(indices, starts, probes)
+        self._probed_neighbors = stream
         return int(probes.sum()), early, updated
-
-
-def _combine_masks(masks: np.ndarray, instances: List[int]) -> np.ndarray:
-    """OR together the lane masks of the given instances."""
-    combined = np.zeros(masks.shape[1], dtype=np.uint64)
-    for j in instances:
-        combined |= masks[j]
-    return combined
-
-
-def _per_bit_counts(words: np.ndarray, group_size: int) -> np.ndarray:
-    """Column sums of the bit matrix encoded by ``(rows, lanes)`` words.
-
-    ``out[j]`` is the number of rows whose instance-``j`` bit is set;
-    uint64 lanes are little-endian, so unpacked bit ``j`` of a row is
-    exactly instance ``j``'s bit.
-    """
-    if words.size == 0:
-        return np.zeros(group_size, dtype=np.int64)
-    as_bytes = np.ascontiguousarray(words, dtype=np.uint64).view(np.uint8)
-    bits = np.unpackbits(
-        as_bytes.reshape(words.shape[0], -1), axis=1, bitorder="little"
-    )
-    return bits.sum(axis=0, dtype=np.int64)[:group_size]

@@ -28,6 +28,7 @@ from repro.gpusim.device import Device
 from repro.bfs.direction import Direction, DirectionPolicy
 from repro.core.result import GroupStats
 from repro.core.sharing import SharingObserver
+from repro.kernels import bucketed_hit_scan, instance_frontier_stats
 from repro.util import gather_neighbors
 
 #: One status byte per (vertex, instance) pair, as in figure 4.
@@ -114,26 +115,27 @@ class JointTraversal:
             )
 
             # Per-instance bookkeeping: completion and direction switch.
+            # All instances' statistics come from one vectorized pass
+            # over the depth matrix instead of group_size dense scans.
+            counts, frontier_edges, unexplored = instance_frontier_stats(
+                depths, level, out_degrees, total_edges
+            )
             for j in range(group_size):
                 if not active[j]:
                     continue
-                new_frontier = depths[j] == level + 1
-                frontier_count = int(np.count_nonzero(new_frontier))
                 if directions[j] is Direction.TOP_DOWN:
-                    if frontier_count == 0:
+                    if counts[j] == 0:
                         active[j] = False
                         continue
                 else:
                     if not progressed[j]:
                         active[j] = False
                         continue
-                frontier_edges = int(out_degrees[new_frontier].sum())
-                unexplored = total_edges - int(out_degrees[depths[j] >= 0].sum())
                 directions[j] = self.policy.next_direction(
                     directions[j],
-                    frontier_edges,
-                    unexplored,
-                    frontier_count,
+                    int(frontier_edges[j]),
+                    int(unexplored[j]),
+                    int(counts[j]),
                     n,
                 )
             level += 1
@@ -330,31 +332,41 @@ class JointTraversal:
         pair_vertex = pair_vertex.astype(VERTEX_DTYPE)
         starts = offsets[pair_vertex]
         ends = offsets[pair_vertex + 1]
-        found = np.zeros(pair_row.size, dtype=bool)
-        probes = np.zeros(pair_row.size, dtype=np.int64)
-        vertex_rounds = 0
-        round_idx = 0
-        while True:
-            alive = ~found & (starts + round_idx < ends)
-            if not alive.any():
-                break
-            alive_idx = np.flatnonzero(alive)
-            nb = indices[starts[alive_idx] + round_idx]
-            inst = bu_rows[pair_row[alive_idx]]
-            probes[alive_idx] += 1
-            vertex_rounds += int(np.unique(pair_vertex[alive_idx]).size)
+
+        # Each (instance, vertex) pair scans its vertex's in-neighbors
+        # until the instance sees a visited parent — a per-pair-local
+        # stop condition, so the synchronized round loop collapses into
+        # degree-bucketed vector passes with identical probe counts.
+        def parent_hit(positions: np.ndarray, nb: np.ndarray) -> np.ndarray:
+            inst = bu_rows[pair_row[positions]]
             parent_depth = depths[inst, nb]
-            hit = (parent_depth >= 0) & (parent_depth <= level)
-            found[alive_idx[hit]] = True
-            round_idx += 1
+            return (parent_depth >= 0) & (parent_depth <= level)
+
+        probes, found = bucketed_hit_scan(
+            indices, starts, ends - starts, parent_hit
+        )
 
         discovered_idx = np.flatnonzero(found)
         depths[
             bu_rows[pair_row[discovered_idx]], pair_vertex[discovered_idx]
         ] = level + 1
         early = int(np.count_nonzero(found & (probes < (ends - starts))))
-        np.add.at(bu_inspections, bu_rows[pair_row], probes)
+        bu_inspections[bu_rows] += np.bincount(
+            pair_row, weights=probes.astype(np.float64),
+            minlength=len(bu_instances),
+        ).astype(np.int64)
         discovered_per_instance = np.bincount(
             pair_row[discovered_idx], minlength=len(bu_instances)
+        )
+        # A vertex is probed in synchronized round r while any of its
+        # pairs is still scanning (pairs are alive for rounds
+        # 0..probes-1), so its round count is the max over its pairs.
+        order = np.argsort(pair_vertex, kind="stable")
+        pv_sorted = pair_vertex[order]
+        boundary = np.empty(pv_sorted.size, dtype=bool)
+        boundary[0] = True
+        np.not_equal(pv_sorted[1:], pv_sorted[:-1], out=boundary[1:])
+        vertex_rounds = int(
+            np.maximum.reduceat(probes[order], np.flatnonzero(boundary)).sum()
         )
         return int(probes.sum()), early, discovered_per_instance, vertex_rounds

@@ -41,6 +41,18 @@ def instance_masks(group_size: int) -> np.ndarray:
     return masks
 
 
+def combine_masks(masks: np.ndarray, instances) -> np.ndarray:
+    """OR of the given instances' lane masks (their joint lane pattern).
+
+    ``masks`` is the :func:`instance_masks` matrix; ``instances`` any
+    index array/list.  An empty selection yields the all-zero word.
+    """
+    instances = np.asarray(instances, dtype=np.int64)
+    if instances.size == 0:
+        return np.zeros(masks.shape[1], dtype=np.uint64)
+    return np.bitwise_or.reduce(masks[instances], axis=0)
+
+
 def full_mask(group_size: int) -> np.ndarray:
     """Lane vector with the low ``group_size`` bits set (the 0xff...f
     early-termination comparand of Algorithm 1)."""

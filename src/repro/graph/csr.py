@@ -39,7 +39,13 @@ class CSRGraph:
         builders.
     """
 
-    __slots__ = ("row_offsets", "col_indices", "_reverse", "_out_degrees")
+    __slots__ = (
+        "row_offsets",
+        "col_indices",
+        "_reverse",
+        "_out_degrees",
+        "_cache_id",
+    )
 
     def __init__(
         self,
@@ -51,6 +57,10 @@ class CSRGraph:
         self.col_indices = np.ascontiguousarray(col_indices, dtype=VERTEX_DTYPE)
         self._reverse: Optional["CSRGraph"] = None
         self._out_degrees: Optional[np.ndarray] = None
+        #: Content fingerprint memo filled by the serving layer's
+        #: ``graph_cache_id`` — the CSR arrays are treated as immutable,
+        #: so hashing them more than once per graph is pure waste.
+        self._cache_id: Optional[str] = None
         if validate:
             self._validate()
 

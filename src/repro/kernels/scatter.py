@@ -1,0 +1,109 @@
+"""Segmented scatter-OR: sorted reductions instead of ``ufunc.at``.
+
+``np.bitwise_or.at`` dispatches one Python-level inner loop per element
+and is orders of magnitude slower than a sorted segmented reduction.
+Because OR is commutative, associative, and idempotent, the scatter
+
+    for i: out[targets[i]] |= words[i]
+
+can be reformulated exactly (bit-identically) as
+
+    sort pairs by target  ->  OR-reduce each equal-target run
+    ->  one vectorized ``out[unique] |= reduced``
+
+which is the same transformation GPU BFS codes apply when they replace
+per-edge atomics with a sort + segmented reduce.  The sort order is
+irrelevant to the result; only the set of (target, word) pairs matters.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+import numpy as np
+
+
+class ScatterPlan(NamedTuple):
+    """Precomputed sort/segment structure for one scatter target array.
+
+    Engines that need the sorted unique targets *before* applying the
+    scatter (e.g. to snapshot the rows about to be written) build the
+    plan first, use :attr:`unique_targets`, then pass the plan to
+    :func:`scatter_or` so the argsort runs once.
+    """
+
+    #: Argsort of the raw target array (grouping only; not stable).
+    order: np.ndarray
+    #: Start index of each equal-target run in the sorted order.
+    segment_starts: np.ndarray
+    #: Sorted unique targets (one per segment).
+    unique_targets: np.ndarray
+
+
+def scatter_plan(targets: np.ndarray) -> ScatterPlan:
+    """Sort the targets and locate the equal-target segment boundaries.
+
+    The sort need not be stable — segments only group equal targets, and
+    the OR reduction is order-free — so the cheapest kind wins: radix
+    when the targets fit 16 bits, otherwise introsort on the narrowest
+    integer type (~3x faster than a stable sort on large int keys, and
+    another ~30% on 32-bit keys).
+    """
+    targets = np.asarray(targets)
+    peak = int(targets.max()) if targets.size else 0
+    if targets.size and peak < 2**16 and targets.min() >= 0:
+        order = np.argsort(targets.astype(np.uint16), kind="stable")
+    elif targets.dtype == np.int64 and peak < 2**31:
+        order = np.argsort(targets.astype(np.int32), kind="quicksort")
+    else:
+        order = np.argsort(targets, kind="quicksort")
+    sorted_targets = targets[order]
+    if sorted_targets.size == 0:
+        return ScatterPlan(order, np.empty(0, dtype=np.int64), sorted_targets)
+    boundary = np.empty(sorted_targets.size, dtype=bool)
+    boundary[0] = True
+    np.not_equal(sorted_targets[1:], sorted_targets[:-1], out=boundary[1:])
+    segment_starts = np.flatnonzero(boundary)
+    return ScatterPlan(order, segment_starts, sorted_targets[segment_starts])
+
+
+def scatter_or(
+    out: np.ndarray,
+    targets: np.ndarray,
+    words: np.ndarray,
+    plan: Optional[ScatterPlan] = None,
+    word_index: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """``np.bitwise_or.at(out, targets, words)`` as a segmented reduction.
+
+    Parameters
+    ----------
+    out:
+        1-D or 2-D integer array updated in place (rows indexed by
+        target).
+    targets:
+        Row index per scattered value (duplicates expected).
+    words:
+        Values to OR in.  With ``word_index`` given, ``words`` is a
+        compact table and ``words[word_index[i]]`` is scattered for pair
+        ``i`` — the expansion (e.g. ``np.repeat`` of frontier words over
+        degrees) never materializes.
+    plan:
+        Optional precomputed :func:`scatter_plan` of ``targets``.
+
+    Returns
+    -------
+    The sorted unique targets (``== np.unique(targets)``).
+    """
+    if plan is None:
+        plan = scatter_plan(targets)
+    if plan.unique_targets.size == 0:
+        return plan.unique_targets
+    words = np.asarray(words)
+    if word_index is not None:
+        gathered = words[word_index[plan.order]]
+    else:
+        gathered = words[plan.order]
+    reduced = np.bitwise_or.reduceat(gathered, plan.segment_starts, axis=0)
+    out[plan.unique_targets] |= reduced
+    return plan.unique_targets

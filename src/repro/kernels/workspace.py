@@ -1,0 +1,119 @@
+"""Zero-copy level bookkeeping: the dirty-row BSA snapshot.
+
+The reference bitwise engine keeps ``BSA_k`` by copying the whole
+``(num_vertices, lanes)`` array at the top of every level, even though a
+level typically rewrites a small fraction of the rows.  A
+:class:`LevelWorkspace` replaces the copy with *dirty-row* bookkeeping:
+
+* before a row is first written in a level, its pre-level value is
+  stashed (``stash_rows``);
+* any reader that needs ``BSA_k[v]`` for arbitrary ``v`` goes through
+  ``snapshot_rows``, which patches stashed values over the live array;
+* frontier identification asks for exactly the rows whose value changed
+  (``changed``), which is the dirty set filtered by a row-wise XOR.
+
+All buffers are preallocated and reused: ``begin_level`` resets only the
+entries the previous level dirtied, so steady-state levels allocate
+nothing beyond numpy temporaries proportional to the touched rows.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class LevelWorkspace:
+    """Reusable per-level buffers for one (num_vertices, lanes) BSA."""
+
+    __slots__ = ("num_vertices", "lanes", "_dirty_pos", "_dirty_rows", "_saved", "_num_dirty")
+
+    def __init__(self, num_vertices: int, lanes: int) -> None:
+        self.num_vertices = num_vertices
+        self.lanes = lanes
+        #: Row -> stash position, -1 while clean this level.
+        self._dirty_pos = np.full(num_vertices, -1, dtype=np.int64)
+        capacity = 256
+        self._dirty_rows = np.empty(capacity, dtype=np.int64)
+        self._saved = np.empty((capacity, lanes), dtype=np.uint64)
+        self._num_dirty = 0
+
+    @property
+    def num_dirty(self) -> int:
+        """Rows stashed so far this level."""
+        return self._num_dirty
+
+    def begin_level(self) -> None:
+        """Reset the dirty set (touches only previously dirty entries)."""
+        if self._num_dirty:
+            self._dirty_pos[self._dirty_rows[: self._num_dirty]] = -1
+        self._num_dirty = 0
+
+    def _ensure(self, capacity: int) -> None:
+        current = self._dirty_rows.size
+        if capacity <= current:
+            return
+        new = max(capacity, current * 2)
+        rows = np.empty(new, dtype=np.int64)
+        rows[: self._num_dirty] = self._dirty_rows[: self._num_dirty]
+        saved = np.empty((new, self.lanes), dtype=np.uint64)
+        saved[: self._num_dirty] = self._saved[: self._num_dirty]
+        self._dirty_rows = rows
+        self._saved = saved
+
+    def stash_rows(self, words: np.ndarray, rows: np.ndarray) -> None:
+        """Record pre-write values of ``rows`` (unique within one call).
+
+        Rows already stashed this level keep their first (pre-level)
+        value; call this *before* writing the rows.
+        """
+        rows = np.asarray(rows)
+        if rows.size == 0:
+            return
+        fresh = rows[self._dirty_pos[rows] < 0]
+        if fresh.size == 0:
+            return
+        end = self._num_dirty + fresh.size
+        self._ensure(end)
+        self._dirty_rows[self._num_dirty : end] = fresh
+        self._saved[self._num_dirty : end] = words[fresh]
+        self._dirty_pos[fresh] = np.arange(self._num_dirty, end, dtype=np.int64)
+        self._num_dirty = end
+
+    def snapshot_rows(self, words: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Pre-level (``BSA_k``) values of arbitrary ``rows``.
+
+        Clean rows read through to the live array; dirty rows come from
+        the stash.  Always returns a fresh array safe to mutate.
+        """
+        if self.lanes == 1:
+            # Single-lane rows are scalars: a flat ``take`` beats the
+            # generic per-row gather by a wide margin.
+            out = np.take(words.reshape(-1), rows)[:, None]
+        else:
+            out = words[rows]
+        if self._num_dirty == 0:
+            return out
+        pos = np.take(self._dirty_pos, rows)
+        hit = pos >= 0
+        if hit.any():
+            out[hit] = self._saved[pos[hit]]
+        return out
+
+    def changed(self, words: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Rows whose live value differs from their stashed snapshot.
+
+        Returns ``(rows, diff)`` where ``diff[i] = words[rows[i]] ^
+        BSA_k[rows[i]]`` is non-zero for every returned row — exactly
+        the set (and values) a full-array XOR against a complete
+        snapshot would find.
+        """
+        k = self._num_dirty
+        if k == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, np.empty((0, self.lanes), dtype=np.uint64)
+        rows = self._dirty_rows[:k]
+        diff = words[rows] ^ self._saved[:k]
+        nonzero = np.any(diff != 0, axis=1)
+        return rows[nonzero], diff[nonzero]

@@ -27,10 +27,23 @@ from repro.core.engine import IBFSConfig
 
 
 def graph_cache_id(graph: CSRGraph) -> str:
-    """Stable content fingerprint of a CSR graph."""
+    """Stable content fingerprint of a CSR graph.
+
+    Memoized on the graph object: CSR arrays are immutable by contract,
+    so the CRC pass over both arrays runs at most once per graph no
+    matter how many servers or caches fingerprint it.
+    """
+    memo = getattr(graph, "_cache_id", None)
+    if memo is not None:
+        return memo
     crc = zlib.crc32(graph.row_offsets.tobytes())
     crc = zlib.crc32(graph.col_indices.tobytes(), crc)
-    return f"csr-{graph.num_vertices}-{graph.num_edges}-{crc:08x}"
+    cache_id = f"csr-{graph.num_vertices}-{graph.num_edges}-{crc:08x}"
+    try:
+        graph._cache_id = cache_id
+    except AttributeError:
+        pass
+    return cache_id
 
 
 def engine_cache_key(config: IBFSConfig) -> str:
