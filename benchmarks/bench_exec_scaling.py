@@ -1,0 +1,247 @@
+#!/usr/bin/env python
+"""Wall-clock scaling harness for the multi-process execution backend.
+
+Measures real host wall time of :class:`repro.exec.GroupExecutor` over
+1/2/4/8 workers against the serial :class:`repro.core.engine.IBFS`
+baseline on the same graph and sources.  Every worker count's result is
+asserted bit-identical to the serial engine (depths, counters, group
+stats) before its timing is trusted, and one fault-injected
+configuration (a worker crashed mid-run) must also reproduce the serial
+result exactly — a speedup can never come from doing different or
+wrong work.
+
+Results land in ``BENCH_exec.json`` at the repo root (or ``--output``;
+``BENCH_exec.quick.json`` in ``--quick`` mode).  ``--check`` gates:
+
+* the fault-injected run must be bit-identical (always enforced);
+* the 2-worker speedup must reach ``--min-speedup`` (default 1.3x) —
+  enforced only when the host has at least 2 CPU cores, since genuine
+  parallel speedup is physically impossible on a single core; such
+  hosts record ``"insufficient_cores": true`` instead.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_exec_scaling.py          # full
+    PYTHONPATH=src python benchmarks/bench_exec_scaling.py --quick  # CI
+    PYTHONPATH=src python benchmarks/bench_exec_scaling.py --quick --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.engine import IBFS, IBFSConfig
+from repro.exec import ExecConfig, FaultPlan, FaultPolicy, GroupExecutor
+from repro.graph.generators import rmat
+
+SOURCE_SEED = 11
+
+#: (scale, edge_factor, group_size, num_sources) — enough groups that
+#: placement matters (stealing has victims) but each group is a real
+#: traversal, so per-task compute dwarfs the IPC round-trip.
+FULL_SHAPE = (14, 4, 8, 96)
+QUICK_SHAPE = (13, 4, 8, 64)
+
+FULL_WORKER_COUNTS = (1, 2, 4, 8)
+QUICK_WORKER_COUNTS = (1, 2)
+
+
+def same_result(a, b) -> bool:
+    """Bit-identity of two ConcurrentResults (the executor contract)."""
+    if a.sources != b.sources or a.seconds != b.seconds:
+        return False
+    if a.counters.__dict__ != b.counters.__dict__:
+        return False
+    if len(a.groups) != len(b.groups):
+        return False
+    for ga, gb in zip(a.groups, b.groups):
+        if ga.__dict__ != gb.__dict__:
+            return False
+    if (a.depths is None) != (b.depths is None):
+        return False
+    if a.depths is not None and not np.array_equal(a.depths, b.depths):
+        return False
+    return True
+
+
+def time_run(run, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller graph, 1/2 workers only (CI smoke)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per configuration")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="result JSON path (default: BENCH_exec.json "
+                             "at repo root; BENCH_exec.quick.json with "
+                             "--quick)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless the fault-injected run is "
+                             "bit-identical and (on multi-core hosts) the "
+                             "2-worker speedup reaches --min-speedup")
+    parser.add_argument("--min-speedup", type=float, default=1.3,
+                        help="required 2-worker speedup under --check")
+    args = parser.parse_args(argv)
+
+    scale, edge_factor, group_size, num_sources = (
+        QUICK_SHAPE if args.quick else FULL_SHAPE
+    )
+    worker_counts = QUICK_WORKER_COUNTS if args.quick else FULL_WORKER_COUNTS
+    repeats = args.repeats or (2 if args.quick else 3)
+    root = Path(__file__).resolve().parent.parent
+    output = args.output or (
+        root / ("BENCH_exec.quick.json" if args.quick else "BENCH_exec.json")
+    )
+    cpu_count = os.cpu_count() or 1
+
+    graph = rmat(scale, edge_factor=edge_factor, seed=3)
+    rng = np.random.default_rng(SOURCE_SEED)
+    sources = sorted(
+        rng.choice(graph.num_vertices, size=num_sources, replace=False).tolist()
+    )
+    config = IBFSConfig(group_size=group_size)
+    engine = IBFS(graph, config)
+
+    print(
+        f"graph rmat scale={scale} ef={edge_factor}: "
+        f"{graph.num_vertices} vertices, {graph.num_edges} edges; "
+        f"{num_sources} sources in groups of {group_size}; "
+        f"{cpu_count} host cores",
+        flush=True,
+    )
+
+    reference = engine.run(sources, store_depths=True)
+    serial_seconds = time_run(
+        lambda: engine.run(sources, store_depths=False), repeats
+    )
+    print(f"[serial] {serial_seconds:.3f}s", flush=True)
+
+    results = []
+    for workers in worker_counts:
+        with GroupExecutor(
+            graph, config, exec_config=ExecConfig(num_workers=workers)
+        ) as executor:
+            # Verification pass doubles as pool warm-up, so fork/attach
+            # cost is excluded from the timed runs.
+            verify = executor.run(sources, store_depths=True)
+            if not same_result(reference, verify):
+                raise AssertionError(
+                    f"{workers}-worker result diverged from serial"
+                )
+            seconds = time_run(
+                lambda: executor.run(sources, store_depths=False), repeats
+            )
+            stats = executor.last_stats
+        entry = {
+            "workers": workers,
+            "seconds": seconds,
+            "speedup_vs_serial": serial_seconds / seconds,
+            "bit_identical": True,
+            "backend": stats.backend,
+            "steals": stats.steals,
+            "per_worker_tasks": dict(stats.per_worker_tasks),
+        }
+        results.append(entry)
+        print(
+            f"[{workers} workers] {seconds:.3f}s  "
+            f"speedup {entry['speedup_vs_serial']:.2f}x  "
+            f"steals {stats.steals}",
+            flush=True,
+        )
+
+    # Fault-injected run: crash the worker holding task 1 on its first
+    # attempt; the retried run must still reproduce the serial result.
+    with GroupExecutor(
+        graph,
+        config,
+        exec_config=ExecConfig(
+            num_workers=2,
+            fault_plan=FaultPlan(crash={1: 1}),
+            faults=FaultPolicy(max_retries=2),
+        ),
+    ) as executor:
+        faulted = executor.run(sources, store_depths=True)
+        fault_stats = executor.last_stats
+    fault_identical = same_result(reference, faulted)
+    fault_entry = {
+        "workers": 2,
+        "injected": "crash task 1 attempt 0",
+        "bit_identical": fault_identical,
+        "crashes": fault_stats.crashes,
+        "retries": fault_stats.retries,
+        "respawns": fault_stats.respawns,
+    }
+    print(
+        f"[fault-injected] crashes={fault_stats.crashes} "
+        f"retries={fault_stats.retries} "
+        f"bit_identical={fault_identical}",
+        flush=True,
+    )
+
+    two_worker = next(r for r in results if r["workers"] == 2)
+    insufficient_cores = cpu_count < 2
+    payload = {
+        "benchmark": "exec_scaling",
+        "mode": "quick" if args.quick else "full",
+        "repeats": repeats,
+        "metric": "host wall-clock seconds per full run (best of repeats)",
+        "graph": f"rmat scale={scale} edge_factor={edge_factor} seed=3",
+        "num_sources": num_sources,
+        "group_size": group_size,
+        "cpu_count": cpu_count,
+        "insufficient_cores": insufficient_cores,
+        "serial_seconds": serial_seconds,
+        "results": results,
+        "fault_injected": fault_entry,
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+
+    if args.check:
+        failed = False
+        if not fault_identical:
+            print("CHECK FAILED: fault-injected run diverged from serial",
+                  file=sys.stderr)
+            failed = True
+        if fault_stats.crashes < 1:
+            print("CHECK FAILED: injected crash never fired",
+                  file=sys.stderr)
+            failed = True
+        if insufficient_cores:
+            print(
+                f"check: host has {cpu_count} core(s); the "
+                f"{args.min_speedup:.1f}x 2-worker gate needs >= 2 and "
+                f"is skipped (recorded insufficient_cores)"
+            )
+        elif two_worker["speedup_vs_serial"] < args.min_speedup:
+            print(
+                f"CHECK FAILED: 2-worker speedup "
+                f"{two_worker['speedup_vs_serial']:.2f}x < "
+                f"{args.min_speedup:.1f}x",
+                file=sys.stderr,
+            )
+            failed = True
+        if failed:
+            return 1
+        print("exec scaling check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,11 @@ deterministic GPU execution-model simulator:
   centrality on top of concurrent BFS;
 * :mod:`repro.service` — online serving layer: dynamic micro-batching
   of request streams into GroupBy-formed groups, LRU result caching,
-  admission control/backpressure, and serving metrics.
+  admission control/backpressure, and serving metrics;
+* :mod:`repro.exec` — real multi-process execution backend: BFS groups
+  run concurrently on worker processes over a shared-memory graph, with
+  work-stealing dispatch and worker fault tolerance, bit-identical to
+  the serial engine.
 
 Quickstart
 ----------
@@ -40,6 +44,9 @@ from repro.errors import (
     QueueFullError,
     RequestTimeoutError,
     RequestFailedError,
+    ExecutorError,
+    WorkerCrashError,
+    WorkerTimeoutError,
 )
 from repro.graph import (
     CSRGraph,
@@ -96,6 +103,13 @@ from repro.service import (
     run_closed_loop,
     compare_serving,
 )
+from repro.exec import (
+    ExecConfig,
+    ExecStats,
+    FaultPlan,
+    FaultPolicy,
+    GroupExecutor,
+)
 from repro.apps import (
     build_reachability_index,
     closeness_centrality,
@@ -119,6 +133,9 @@ __all__ = [
     "QueueFullError",
     "RequestTimeoutError",
     "RequestFailedError",
+    "ExecutorError",
+    "WorkerCrashError",
+    "WorkerTimeoutError",
     "CSRGraph",
     "WeightedCSRGraph",
     "with_random_weights",
@@ -173,5 +190,10 @@ __all__ = [
     "WorkloadConfig",
     "run_closed_loop",
     "compare_serving",
+    "ExecConfig",
+    "ExecStats",
+    "FaultPlan",
+    "FaultPolicy",
+    "GroupExecutor",
     "__version__",
 ]

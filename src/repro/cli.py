@@ -96,15 +96,25 @@ def cmd_info(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     sources = _pick_sources(graph, args.sources, args.seed)
-    engine = IBFS(
-        graph,
-        IBFSConfig(
-            group_size=args.group_size,
-            mode=args.mode,
-            groupby=not args.no_groupby,
-        ),
+    config = IBFSConfig(
+        group_size=args.group_size,
+        mode=args.mode,
+        groupby=not args.no_groupby,
     )
-    result = engine.run(sources, store_depths=False)
+    exec_stats = None
+    if args.workers > 0:
+        from repro.exec import ExecConfig, FaultPolicy, GroupExecutor
+
+        exec_config = ExecConfig(
+            num_workers=args.workers,
+            scheduler=args.scheduler,
+            faults=FaultPolicy(fail_fast=args.fail_fast),
+        )
+        with GroupExecutor(graph, config, exec_config=exec_config) as executor:
+            result = executor.run(sources, store_depths=False)
+            exec_stats = executor.last_stats
+    else:
+        result = IBFS(graph, config).run(sources, store_depths=False)
     print(f"engine            : {result.engine}")
     print(f"instances         : {result.num_instances}")
     print(f"groups            : {len(result.groups)}")
@@ -114,6 +124,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"load transactions : {result.counters.global_load_transactions:,}")
     print(f"store transactions: {result.counters.global_store_transactions:,}")
     print(f"early terminations: {result.counters.early_terminations:,}")
+    if exec_stats is not None:
+        print(f"exec backend      : {exec_stats.backend} "
+              f"({exec_stats.num_workers} workers, {exec_stats.scheduler})")
+        print(f"wall clock        : {exec_stats.wall_seconds * 1e3:.1f} ms")
+        print(f"steals/retries    : {exec_stats.steals}/{exec_stats.retries}")
+        if exec_stats.degraded:
+            print("warning           : pool lost; degraded to in-process")
     return 0
 
 
@@ -241,13 +258,33 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import BFSServer, run_closed_loop
 
     graph = _load_graph(args.graph)
-    server = BFSServer(graph, _serving_config(args))
-    result = run_closed_loop(server, _workload_config(args))
+    serving = _serving_config(args)
+    executor = None
+    if getattr(args, "workers", 0) > 0:
+        from repro.exec import ExecConfig, GroupExecutor
+
+        executor = GroupExecutor(
+            graph,
+            IBFSConfig(group_size=serving.batch_size),
+            exec_config=ExecConfig(
+                num_workers=args.workers, scheduler=args.scheduler
+            ),
+        )
+    try:
+        server = BFSServer(graph, serving, executor=executor)
+        result = run_closed_loop(server, _workload_config(args))
+    finally:
+        if executor is not None:
+            executor.close()
     _print_load_result(
         f"served {args.requests} {args.kind} requests "
         f"({args.clients} closed-loop clients, zipf {args.zipf})",
         result,
     )
+    if executor is not None and executor.last_stats is not None:
+        stats = executor.last_stats
+        print(f"  exec backend      : {stats.backend} "
+              f"({stats.num_workers} workers, {stats.scheduler})")
     if args.metrics_json:
         import json
 
@@ -317,6 +354,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--mode", choices=("bitwise", "joint"), default="bitwise")
     run.add_argument("--no-groupby", action="store_true")
     run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--workers", type=int, default=0,
+                     help="worker processes for the real execution "
+                          "backend (0 = in-process, the default)")
+    run.add_argument("--scheduler", choices=("steal", "lpt", "round_robin"),
+                     default="steal",
+                     help="group dispatch policy (with --workers)")
+    run.add_argument("--fail-fast", action="store_true",
+                     help="raise on the first worker fault instead of "
+                          "retrying within the fault budget")
     run.set_defaults(func=cmd_run)
 
     cmp_ = sub.add_parser("compare", help="figure-15 style engine ladder")
@@ -378,6 +424,13 @@ def build_parser() -> argparse.ArgumentParser:
     add_serving_args(serve)
     serve.add_argument("--metrics-json", default=None,
                        help="write the metrics snapshot to this path")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="execute batches on a worker-process pool "
+                            "(0 = in-process, the default)")
+    serve.add_argument("--scheduler",
+                       choices=("steal", "lpt", "round_robin"),
+                       default="steal",
+                       help="group dispatch policy (with --workers)")
     serve.set_defaults(func=cmd_serve)
 
     bench = sub.add_parser(

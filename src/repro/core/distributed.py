@@ -35,6 +35,14 @@ class DistributedResult:
     makespan: float
     device_times: np.ndarray
     assignment: np.ndarray
+    #: ``"sim"`` when groups executed serially in this process,
+    #: ``"process"`` when they ran on the real multi-process backend.
+    backend: str = "sim"
+    #: Real wall-clock seconds of group execution (``process`` backend).
+    wall_seconds: Optional[float] = None
+    #: Executor observability (``process`` backend):
+    #: :class:`repro.exec.executor.ExecStats`.
+    exec_stats: Optional[object] = None
 
     @property
     def teps(self) -> float:
@@ -76,7 +84,20 @@ class DistributedResult:
 
 
 class DistributedIBFS:
-    """iBFS across a fleet of identical simulated GPUs."""
+    """iBFS across a fleet of identical simulated GPUs.
+
+    ``backend`` selects how groups actually execute while the cluster
+    model prices them:
+
+    * ``"sim"`` (default) — groups run serially in this process and
+      only the *schedule* is simulated (the original behavior);
+    * ``"process"`` — groups run genuinely concurrently on the
+      :class:`repro.exec.executor.GroupExecutor` process pool (one
+      worker per simulated device unless ``num_workers`` overrides it),
+      with bit-identical results; the simulated makespan is computed
+      from the same per-group simulated times, and the real wall clock
+      plus executor stats land on the result.
+    """
 
     def __init__(
         self,
@@ -85,13 +106,21 @@ class DistributedIBFS:
         config: Optional[IBFSConfig] = None,
         device_config: Optional[DeviceConfig] = None,
         scheduler: Scheduler = schedule_lpt,
+        backend: str = "sim",
+        num_workers: Optional[int] = None,
+        exec_config: Optional[object] = None,
     ) -> None:
         if num_devices <= 0:
             raise SimulationError("num_devices must be positive")
+        if backend not in ("sim", "process"):
+            raise SimulationError(
+                f"unknown backend {backend!r}; expected 'sim' or 'process'"
+            )
         self.graph = graph
         self.num_devices = num_devices
         self.device_config = device_config or KEPLER_K20
         self.scheduler = scheduler
+        self.backend = backend
         self.engine = IBFS(
             graph,
             config or IBFSConfig(),
@@ -102,6 +131,50 @@ class DistributedIBFS:
             raise SimulationError(
                 f"graph does not fit in {self.device_config.name} memory"
             )
+        self._executor = None
+        if backend == "process":
+            # Imported lazily: repro.exec depends on repro.core.
+            from repro.exec.executor import ExecConfig, GroupExecutor
+
+            workers = num_workers if num_workers is not None else num_devices
+            self._executor = GroupExecutor(
+                graph,
+                config or IBFSConfig(),
+                exec_config=exec_config or ExecConfig(num_workers=workers),
+                device_config=self.device_config,
+            )
+
+    def close(self) -> None:
+        """Tear down the process backend (no-op for ``sim``)."""
+        if self._executor is not None:
+            self._executor.close()
+
+    def __enter__(self) -> "DistributedIBFS":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _run_local(
+        self,
+        sources: Sequence[int],
+        max_depth: Optional[int],
+        store_depths: bool,
+    ):
+        """Execute all groups; returns (result, wall, exec_stats)."""
+        if self._executor is not None:
+            import time
+
+            start = time.perf_counter()
+            local = self._executor.run(
+                sources, max_depth=max_depth, store_depths=store_depths
+            )
+            wall = time.perf_counter() - start
+            return local, wall, self._executor.last_stats
+        local = self.engine.run(
+            sources, max_depth=max_depth, store_depths=store_depths
+        )
+        return local, None, None
 
     def run(
         self,
@@ -110,8 +183,8 @@ class DistributedIBFS:
         store_depths: bool = False,
     ) -> DistributedResult:
         """Traverse from all sources across the cluster."""
-        local = self.engine.run(
-            sources, max_depth=max_depth, store_depths=store_depths
+        local, wall, exec_stats = self._run_local(
+            sources, max_depth, store_depths
         )
         durations = local.group_times()
         cluster = Cluster(self.num_devices, self.device_config, self.scheduler)
@@ -122,6 +195,9 @@ class DistributedIBFS:
             makespan=outcome.makespan,
             device_times=outcome.device_times,
             assignment=outcome.assignment,
+            backend=self.backend,
+            wall_seconds=wall,
+            exec_stats=exec_stats,
         )
 
     def strong_scaling(
@@ -134,7 +210,7 @@ class DistributedIBFS:
         Runs the traversal once and re-schedules the measured group
         times, which is exactly what varying the cluster size does.
         """
-        local = self.engine.run(sources, store_depths=False)
+        local, wall, exec_stats = self._run_local(sources, None, False)
         durations = local.group_times()
         results = []
         for count in device_counts:
@@ -148,6 +224,9 @@ class DistributedIBFS:
                     makespan=outcome.makespan,
                     device_times=outcome.device_times,
                     assignment=outcome.assignment,
+                    backend=self.backend,
+                    wall_seconds=wall,
+                    exec_stats=exec_stats,
                 )
             )
         return results

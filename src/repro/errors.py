@@ -53,3 +53,18 @@ class RequestTimeoutError(ServiceError):
 class RequestFailedError(ServiceError):
     """Raised when a request ultimately fails after exhausting its
     retry budget."""
+
+
+class ExecutorError(ServiceError):
+    """Base class for errors raised by the multi-process execution
+    backend (:mod:`repro.exec`)."""
+
+
+class WorkerCrashError(ExecutorError):
+    """Raised when a worker process died (non-zero exit or kill) while
+    executing a task and the retry budget is exhausted."""
+
+
+class WorkerTimeoutError(ExecutorError):
+    """Raised when a task exceeded the executor's wall-clock task
+    timeout and the retry budget is exhausted."""

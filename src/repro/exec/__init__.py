@@ -1,0 +1,67 @@
+"""repro.exec — multi-process execution backend for iBFS groups.
+
+The paper's multi-GPU observation (section 8.3) — independent BFS
+groups need no communication, so scaling is purely a placement problem
+— is simulated by :mod:`repro.gpusim.cluster` and made *real* here:
+
+* :mod:`repro.exec.shm` — zero-copy CSR graph publication over
+  ``multiprocessing.shared_memory`` (refcounted, fingerprint-keyed);
+* :mod:`repro.exec.scheduler` — predicted-cost dispatch reusing the
+  cluster's LPT/round-robin policies plus a work-stealing task board;
+* :mod:`repro.exec.worker` — the persistent worker process loop;
+* :mod:`repro.exec.faults` — deterministic fault injection, the
+  crash/timeout/retry budget, and the fault event log;
+* :mod:`repro.exec.executor` — :class:`GroupExecutor`, which merges
+  per-group results bit-identically to serial :meth:`IBFS.run`.
+"""
+
+from repro.exec.executor import ExecConfig, ExecStats, GroupExecutor
+from repro.exec.faults import FaultEvent, FaultLog, FaultPlan, FaultPolicy
+from repro.exec.scheduler import (
+    SCHEDULER_NAMES,
+    CostModel,
+    DispatchPolicy,
+    LPTDispatch,
+    RoundRobinDispatch,
+    TaskBoard,
+    WorkStealingDispatch,
+    get_policy,
+)
+from repro.exec.shm import (
+    AttachedGraph,
+    SharedArraySpec,
+    SharedGraphHandle,
+    attach_graph,
+    publish_graph,
+    published_refcount,
+    release_graph,
+    shared_memory_available,
+)
+from repro.exec.worker import EngineSpec
+
+__all__ = [
+    "ExecConfig",
+    "ExecStats",
+    "GroupExecutor",
+    "FaultEvent",
+    "FaultLog",
+    "FaultPlan",
+    "FaultPolicy",
+    "SCHEDULER_NAMES",
+    "CostModel",
+    "DispatchPolicy",
+    "LPTDispatch",
+    "RoundRobinDispatch",
+    "TaskBoard",
+    "WorkStealingDispatch",
+    "get_policy",
+    "AttachedGraph",
+    "SharedArraySpec",
+    "SharedGraphHandle",
+    "attach_graph",
+    "publish_graph",
+    "published_refcount",
+    "release_graph",
+    "shared_memory_available",
+    "EngineSpec",
+]

@@ -1,0 +1,720 @@
+"""The multi-process group executor.
+
+:class:`GroupExecutor` is the real-parallelism counterpart of the
+simulated cluster (section 8.3): iBFS groups are independent, so the
+only problems worth solving are placement and failure — exactly what
+this module does.  The parent process
+
+1. publishes the CSR graph into shared memory once
+   (:mod:`repro.exec.shm`),
+2. forms groups with the *same* GroupBy code the serial engine uses,
+3. pre-assigns them to persistent worker processes through a pluggable
+   dispatch policy (:mod:`repro.exec.scheduler`) and hands idle workers
+   work one task at a time — stealing from loaded peers' deques under
+   the default policy,
+4. watches for worker crashes and hangs, retrying tasks within the
+   :class:`~repro.exec.faults.FaultPolicy` budget and respawning
+   workers, degrading to in-process execution when the pool is lost,
+5. merges per-group results *in group order*, which makes the final
+   :class:`~repro.core.result.ConcurrentResult` bit-identical to a
+   serial :meth:`IBFS.run` no matter how completion interleaved.
+
+``seconds`` on returned results stays *simulated* time (identical to
+the serial engine); real wall-clock time and scheduler/fault behavior
+land in :class:`ExecStats` (``last_stats``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ExecutorError, ReproError, TraversalError
+from repro.graph.csr import CSRGraph
+from repro.gpusim.cluster import Cluster
+from repro.gpusim.config import DeviceConfig
+from repro.gpusim.counters import ProfilerCounters
+from repro.gpusim.device import Device
+from repro.bfs.direction import DirectionPolicy
+from repro.core.engine import IBFS, IBFSConfig
+from repro.core.result import ConcurrentResult, GroupStats
+from repro.exec.faults import (
+    FaultEvent,
+    FaultLog,
+    FaultPlan,
+    FaultPolicy,
+    crash_error,
+    timeout_error,
+)
+from repro.exec.scheduler import (
+    SCHEDULER_NAMES,
+    CostModel,
+    TaskBoard,
+    get_policy,
+)
+from repro.exec.shm import (
+    discard_array,
+    pop_array,
+    publish_graph,
+    release_graph,
+    shared_memory_available,
+)
+from repro.exec.worker import EngineSpec, worker_main
+
+#: Seconds the parent blocks on the result queue per scheduling pass;
+#: bounds crash/hang detection latency, not throughput.
+_POLL_SECONDS = 0.05
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """Configuration of a :class:`GroupExecutor`.
+
+    Attributes
+    ----------
+    num_workers:
+        Persistent worker processes; ``0`` means execute in-process
+        (no pool, no shared memory — the degraded mode, explicitly).
+    scheduler:
+        ``"steal"`` (LPT pre-assignment + work stealing, default),
+        ``"lpt"``, or ``"round_robin"``.
+    faults:
+        Retry/timeout/respawn budget (see
+        :class:`~repro.exec.faults.FaultPolicy`).
+    fault_plan:
+        Deterministic fault injection shipped to workers (tests/chaos).
+    start_method:
+        ``multiprocessing`` start method; default ``"fork"`` where
+        available (workers attach shared memory either way).
+    fallback:
+        When true (default), a pool that cannot be started degrades to
+        in-process execution instead of raising.
+    share_reverse:
+        Also publish the transpose CSR so workers skip the reverse
+        build (bottom-up traversal needs it).
+    shared_depths:
+        Ship depth matrices back through one-shot shared-memory
+        segments instead of the pickle pipe.
+    """
+
+    num_workers: int = 2
+    scheduler: str = "steal"
+    faults: FaultPolicy = FaultPolicy()
+    fault_plan: Optional[FaultPlan] = None
+    start_method: Optional[str] = None
+    fallback: bool = True
+    share_reverse: bool = True
+    shared_depths: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 0:
+            raise ExecutorError("num_workers must be non-negative")
+        if self.scheduler not in SCHEDULER_NAMES:
+            raise ExecutorError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"expected one of {SCHEDULER_NAMES}"
+            )
+
+
+@dataclass
+class ExecStats:
+    """Observability for one executor run (wall-clock, not simulated)."""
+
+    backend: str
+    num_workers: int
+    scheduler: str
+    tasks: int
+    wall_seconds: float = 0.0
+    steals: int = 0
+    retries: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+    task_errors: int = 0
+    respawns: int = 0
+    degraded: bool = False
+    per_worker_tasks: Dict[int, int] = field(default_factory=dict)
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        payload = {
+            "backend": self.backend,
+            "num_workers": self.num_workers,
+            "scheduler": self.scheduler,
+            "tasks": self.tasks,
+            "wall_seconds": self.wall_seconds,
+            "steals": self.steals,
+            "retries": self.retries,
+            "crashes": self.crashes,
+            "timeouts": self.timeouts,
+            "task_errors": self.task_errors,
+            "respawns": self.respawns,
+            "degraded": self.degraded,
+            "per_worker_tasks": dict(self.per_worker_tasks),
+        }
+        return payload
+
+
+@dataclass
+class _Task:
+    group: List[int]
+    max_depth: Optional[int]
+    want_depths: bool
+
+
+class _Worker:
+    """Parent-side record of one worker incarnation."""
+
+    def __init__(self, worker_id: int, process, task_queue) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.task_queue = task_queue
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class GroupExecutor:
+    """Runs iBFS groups concurrently across worker processes.
+
+    Construct it over the same graph and engine configuration as the
+    serial engine it replaces; results are bit-identical.  Use as a
+    context manager (or call :meth:`close`) to tear the pool and the
+    shared-memory segments down deterministically.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        config: Optional[IBFSConfig] = None,
+        exec_config: Optional[ExecConfig] = None,
+        device_config: Optional[DeviceConfig] = None,
+        policy: Optional[DirectionPolicy] = None,
+    ) -> None:
+        self.graph = graph
+        self.exec_config = exec_config or ExecConfig()
+        self._device_config = device_config
+        self._policy_obj = policy
+        device = Device(device_config) if device_config else None
+        #: Local engine: grouping, capacity checks, and the in-process
+        #: execution path all run through it.
+        self.engine = IBFS(graph, config, device=device, policy=policy)
+        self.cost_model = CostModel(graph)
+        self._dispatch_policy = get_policy(self.exec_config.scheduler)
+        self._handle = None
+        self._ctx = None
+        self._workers: Dict[int, _Worker] = {}
+        self._result_queue = None
+        self._respawns_left = self.exec_config.faults.respawn_limit
+        self._pool_broken = False
+        self._closed = False
+        #: Run sequence number: task ids restart at zero every run, so
+        #: a straggler reply from an earlier run is identified (and its
+        #: shared-memory payload reclaimed) by its epoch alone.
+        self._epoch = 0
+        #: Stats of the most recent run/map_groups call.
+        self.last_stats: Optional[ExecStats] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """``"process"`` when the pool is usable, else ``"inprocess"``."""
+        if (
+            self.exec_config.num_workers <= 0
+            or self._pool_broken
+            or not shared_memory_available()
+        ):
+            return "inprocess"
+        return "process"
+
+    def __enter__(self) -> "GroupExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop workers, drain queues, release the shared graph."""
+        if self._closed:
+            return
+        self._closed = True
+        self._teardown_pool()
+
+    def _teardown_pool(self) -> None:
+        for worker in self._workers.values():
+            try:
+                worker.task_queue.put(None)
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        deadline = time.perf_counter() + 2.0
+        for worker in self._workers.values():
+            worker.process.join(timeout=max(0.0, deadline - time.perf_counter()))
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+        for worker in self._workers.values():
+            try:
+                worker.task_queue.close()
+            except Exception:  # pragma: no cover
+                pass
+        self._workers = {}
+        if self._result_queue is not None:
+            self._drain_result_queue()
+            try:
+                self._result_queue.close()
+            except Exception:  # pragma: no cover
+                pass
+            self._result_queue = None
+        if self._handle is not None:
+            release_graph(self._handle)
+            self._handle = None
+
+    def _drain_result_queue(self) -> None:
+        """Reclaim shared-memory payloads of unread replies.
+
+        Workers killed mid-teardown (or outlived by a raised failure)
+        may have pushed depth segments whose replies were never read;
+        dropping the queue without unlinking them would leak
+        ``/dev/shm`` space for the life of the machine.
+        """
+        while True:
+            try:
+                message = self._result_queue.get_nowait()
+            except (queue_mod.Empty, OSError, ValueError):
+                return
+            if message and message[0] == "ok" and message[5] is not None:
+                try:
+                    discard_array(message[5])
+                except Exception:  # pragma: no cover - best effort
+                    pass
+
+    def _ensure_pool(self) -> bool:
+        """Start the pool if needed; False means run in-process."""
+        if self._closed:
+            raise ExecutorError("executor is closed")
+        if self.backend != "process":
+            return False
+        if self._workers:
+            return True
+        try:
+            self._start_pool()
+            return True
+        except ReproError:
+            raise
+        except Exception as exc:
+            self._pool_broken = True
+            self._teardown_pool()
+            if self.exec_config.fallback:
+                return False
+            raise ExecutorError(f"could not start worker pool: {exc}") from exc
+
+    def _start_pool(self) -> None:
+        method = self.exec_config.start_method
+        if method is None:
+            methods = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(method)
+        self._handle = publish_graph(
+            self.graph, include_reverse=self.exec_config.share_reverse
+        )
+        self._result_queue = self._ctx.Queue()
+        for worker_id in range(self.exec_config.num_workers):
+            self._spawn_worker(worker_id)
+
+    def _spawn_worker(self, worker_id: int) -> None:
+        task_queue = (
+            self._workers[worker_id].task_queue
+            if worker_id in self._workers
+            else self._ctx.Queue()
+        )
+        spec = EngineSpec(
+            config=self.engine.config,
+            device_config=self._device_config,
+            policy=self._policy_obj,
+        )
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(
+                worker_id,
+                self._handle,
+                spec,
+                task_queue,
+                self._result_queue,
+                self.exec_config.fault_plan,
+                self.exec_config.shared_depths,
+            ),
+            daemon=True,
+            name=f"repro-exec-{worker_id}",
+        )
+        process.start()
+        self._workers[worker_id] = _Worker(worker_id, process, task_queue)
+
+    # ------------------------------------------------------------------
+    # Public execution surface
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        sources: Sequence[int],
+        max_depth: Optional[int] = None,
+        store_depths: bool = True,
+        cluster: Optional[Cluster] = None,
+    ) -> ConcurrentResult:
+        """Traverse from all sources; same contract and bit-identical
+        output as :meth:`repro.core.engine.IBFS.run`."""
+        sources = [int(s) for s in sources]
+        if not sources:
+            raise TraversalError("at least one source is required")
+        groups = self.engine.make_groups(sources)
+        tasks = [_Task(list(g), max_depth, store_depths) for g in groups]
+        outcomes = self._execute(tasks, collect_errors=False)
+
+        counters = ProfilerCounters()
+        group_stats: List[GroupStats] = []
+        depth_rows = {} if store_depths else None
+        for task, (depths, task_counters, stats) in zip(tasks, outcomes):
+            counters.merge(task_counters)
+            group_stats.append(stats)
+            if depth_rows is not None:
+                for row, source in enumerate(task.group):
+                    depth_rows[source] = depths[row]
+
+        if cluster is not None:
+            seconds = cluster.run([g.seconds for g in group_stats]).makespan
+        else:
+            seconds = sum(g.seconds for g in group_stats)
+        matrix = None
+        if depth_rows is not None:
+            matrix = np.stack([depth_rows[s] for s in sources])
+        return ConcurrentResult(
+            engine=self.engine.name,
+            sources=sources,
+            seconds=seconds,
+            counters=counters,
+            depths=matrix,
+            num_vertices=self.graph.num_vertices,
+            groups=group_stats,
+        )
+
+    def run_group(
+        self, group: Sequence[int], max_depth: Optional[int] = None
+    ) -> ConcurrentResult:
+        """Execute one pre-formed group (the serving layer's unit)."""
+        results = self.map_groups([(group, max_depth)])
+        return results[0]
+
+    def map_groups(
+        self,
+        specs: Sequence[Tuple[Sequence[int], Optional[int]]],
+        return_errors: bool = False,
+    ) -> List[Union[ConcurrentResult, ReproError]]:
+        """Execute many pre-formed groups concurrently.
+
+        Returns one :class:`ConcurrentResult` per spec, in spec order.
+        With ``return_errors`` a failed group yields its error object in
+        place of a result (so callers with their own retry policy — the
+        serving layer — handle failures per batch); otherwise the first
+        failure raises.
+        """
+        if not specs:
+            return []
+        tasks = []
+        for group, max_depth in specs:
+            group = [int(s) for s in group]
+            self._validate_group(group)
+            tasks.append(_Task(group, max_depth, True))
+        outcomes = self._execute(tasks, collect_errors=return_errors)
+        results: List[Union[ConcurrentResult, ReproError]] = []
+        for task, outcome in zip(tasks, outcomes):
+            if isinstance(outcome, ReproError):
+                results.append(outcome)
+                continue
+            depths, task_counters, stats = outcome
+            results.append(
+                ConcurrentResult(
+                    engine=self.engine.name,
+                    sources=task.group,
+                    seconds=stats.seconds,
+                    counters=task_counters,
+                    depths=np.asarray(depths),
+                    num_vertices=self.graph.num_vertices,
+                    groups=[stats],
+                )
+            )
+        return results
+
+    def _validate_group(self, group: List[int]) -> None:
+        """Mirror the serial engine's run_group validation in the parent
+        so malformed groups fail with the same typed error, untried."""
+        if not group:
+            raise TraversalError("a group needs at least one source")
+        if len(set(group)) != len(group):
+            raise TraversalError("group sources must be distinct")
+        for s in group:
+            if not 0 <= s < self.graph.num_vertices:
+                raise TraversalError(f"source {s} out of range")
+        capacity = self.engine.effective_group_size()
+        if len(group) > capacity:
+            raise TraversalError(
+                f"group of {len(group)} exceeds the effective group size "
+                f"{capacity}"
+            )
+
+    # ------------------------------------------------------------------
+    # Execution core
+    # ------------------------------------------------------------------
+    def _execute(self, tasks: List[_Task], collect_errors: bool):
+        start = time.perf_counter()
+        if not self._ensure_pool():
+            stats = ExecStats(
+                backend="inprocess",
+                num_workers=0,
+                scheduler=self.exec_config.scheduler,
+                tasks=len(tasks),
+            )
+            outcomes = [self._run_local(t) for t in tasks]
+            stats.wall_seconds = time.perf_counter() - start
+            self.last_stats = stats
+            return outcomes
+        stats = ExecStats(
+            backend="process",
+            num_workers=len(self._workers),
+            scheduler=self.exec_config.scheduler,
+            tasks=len(tasks),
+        )
+        try:
+            outcomes = self._execute_pool(tasks, collect_errors, stats)
+        except BaseException:
+            # A raised failure can leave workers mid-task; reset so the
+            # next call starts from a clean pool.
+            self._teardown_pool()
+            raise
+        stats.wall_seconds = time.perf_counter() - start
+        self.last_stats = stats
+        return outcomes
+
+    def _run_local(self, task: _Task) -> tuple:
+        wall_start = time.perf_counter()
+        result = self.engine.run_group(task.group, max_depth=task.max_depth)
+        self.cost_model.observe(task.group, time.perf_counter() - wall_start)
+        depths = result.depths if task.want_depths else None
+        return depths, result.counters, result.groups[0]
+
+    def _execute_pool(self, tasks: List[_Task], collect_errors: bool, stats: ExecStats):
+        policy = self.exec_config.faults
+        self._epoch += 1
+        log = FaultLog()
+        n = len(tasks)
+        costs = [self.cost_model.predict(t.group) for t in tasks]
+        board = TaskBoard(
+            self._dispatch_policy.assign(costs, len(self._workers)),
+            costs,
+            len(self._workers),
+            self._dispatch_policy.allow_stealing,
+        )
+        outcomes: List[Optional[object]] = [None] * n
+        attempts = [0] * n
+        pending = set(range(n))
+        busy: Dict[int, Tuple[int, int, float]] = {}
+
+        def fail_task(task_id: int, error: ReproError) -> None:
+            if policy.fail_fast or not collect_errors:
+                raise error
+            outcomes[task_id] = error
+            pending.discard(task_id)
+
+        def task_failed(task_id: int, attempt: int, make_error) -> None:
+            attempts[task_id] = attempt + 1
+            if policy.fail_fast:
+                raise make_error()
+            if policy.exhausted(attempts[task_id]):
+                fail_task(task_id, make_error())
+            else:
+                stats.retries += 1
+                log.record("retry", task_id=task_id, attempt=attempts[task_id])
+                board.requeue(task_id)
+
+        while pending:
+            self._reap_dead(busy, stats, log, task_failed)
+            self._watchdog(busy, policy, stats, log, task_failed)
+            self._hand_out(board, busy, tasks, attempts, stats)
+            if not pending:
+                break
+            if not busy:
+                # Nothing in flight yet work remains: the pool is gone
+                # (all workers dead past the respawn budget).
+                self._degrade(tasks, pending, outcomes, stats, log)
+                break
+            message = self._next_message()
+            if message is None:
+                continue
+            self._handle_message(
+                message, tasks, outcomes, attempts, pending, busy, stats, log,
+                task_failed,
+            )
+
+        stats.steals += board.steals
+        stats.events = log.events
+        return outcomes
+
+    # -- pool mechanics ------------------------------------------------
+    def _hand_out(self, board, busy, tasks, attempts, stats) -> None:
+        for worker_id in sorted(self._workers):
+            if worker_id in busy or not self._workers[worker_id].alive():
+                continue
+            task_id = board.next_task(worker_id)
+            if task_id is None:
+                continue
+            task = tasks[task_id]
+            self._workers[worker_id].task_queue.put(
+                (
+                    self._epoch,
+                    task_id,
+                    attempts[task_id],
+                    task.group,
+                    task.max_depth,
+                    task.want_depths,
+                )
+            )
+            busy[worker_id] = (task_id, attempts[task_id], time.perf_counter())
+            stats.per_worker_tasks[worker_id] = (
+                stats.per_worker_tasks.get(worker_id, 0) + 1
+            )
+
+    def _next_message(self):
+        try:
+            return self._result_queue.get(timeout=_POLL_SECONDS)
+        except queue_mod.Empty:
+            return None
+
+    def _handle_message(
+        self, message, tasks, outcomes, attempts, pending, busy, stats, log,
+        task_failed,
+    ) -> None:
+        kind = message[0]
+        if kind == "ok":
+            (_, worker_id, epoch, task_id, attempt, depth_spec, depths,
+             counters, gstats, wall) = message
+            stale = (
+                epoch != self._epoch
+                or task_id not in pending
+                or attempt != attempts[task_id]
+            )
+            if stale:
+                if depth_spec is not None:
+                    discard_array(depth_spec)
+                return
+            if depth_spec is not None:
+                depths = pop_array(depth_spec)
+            outcomes[task_id] = (depths, counters, gstats)
+            pending.discard(task_id)
+            busy.pop(worker_id, None)
+            self.cost_model.observe(tasks[task_id].group, wall)
+            return
+        if kind == "error":
+            _, worker_id, epoch, task_id, attempt, detail = message
+            if (
+                epoch != self._epoch
+                or task_id not in pending
+                or attempt != attempts[task_id]
+            ):
+                return
+            busy.pop(worker_id, None)
+            stats.task_errors += 1
+            log.record(
+                "task_error",
+                task_id=task_id,
+                worker_id=worker_id,
+                attempt=attempt,
+                detail=detail,
+            )
+            task_failed(
+                task_id,
+                attempt,
+                lambda: ExecutorError(
+                    f"task {task_id} failed on worker {worker_id}: {detail}"
+                ),
+            )
+
+    def _reap_dead(self, busy, stats, log, task_failed) -> None:
+        for worker_id in list(self._workers):
+            worker = self._workers[worker_id]
+            if worker.alive():
+                continue
+            entry = busy.pop(worker_id, None)
+            if entry is not None:
+                task_id, attempt, _ = entry
+                stats.crashes += 1
+                log.record(
+                    "crash",
+                    task_id=task_id,
+                    worker_id=worker_id,
+                    attempt=attempt,
+                    detail=f"exitcode {worker.process.exitcode}",
+                )
+                self._replace_worker(worker_id, stats, log)
+                task_failed(
+                    task_id,
+                    attempt,
+                    lambda: crash_error(task_id, worker_id, attempt),
+                )
+            else:
+                self._replace_worker(worker_id, stats, log)
+
+    def _watchdog(self, busy, policy, stats, log, task_failed) -> None:
+        if policy.task_timeout is None:
+            return
+        now = time.perf_counter()
+        for worker_id in list(busy):
+            task_id, attempt, started = busy[worker_id]
+            if now - started <= policy.task_timeout:
+                continue
+            busy.pop(worker_id)
+            stats.timeouts += 1
+            log.record(
+                "timeout",
+                task_id=task_id,
+                worker_id=worker_id,
+                attempt=attempt,
+                detail=f"exceeded {policy.task_timeout:.3f}s",
+            )
+            worker = self._workers[worker_id]
+            worker.process.terminate()
+            worker.process.join(timeout=1.0)
+            self._replace_worker(worker_id, stats, log)
+            task_failed(
+                task_id,
+                attempt,
+                lambda: timeout_error(task_id, worker_id, attempt),
+            )
+
+    def _replace_worker(self, worker_id: int, stats, log) -> None:
+        """Respawn a dead worker within budget; drop it otherwise."""
+        if self._respawns_left > 0:
+            self._respawns_left -= 1
+            stats.respawns += 1
+            log.record("respawn", worker_id=worker_id)
+            self._spawn_worker(worker_id)
+        else:
+            log.record("worker_lost", worker_id=worker_id)
+            worker = self._workers.pop(worker_id)
+            try:
+                worker.task_queue.close()
+            except Exception:  # pragma: no cover
+                pass
+
+    def _degrade(self, tasks, pending, outcomes, stats, log) -> None:
+        """Pool lost: finish the remaining tasks in-process, correctly."""
+        stats.degraded = True
+        log.record(
+            "degraded",
+            detail=f"{len(pending)} tasks completed in-process",
+        )
+        for task_id in sorted(pending):
+            outcomes[task_id] = self._run_local(tasks[task_id])
+        pending.clear()

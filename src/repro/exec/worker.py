@@ -1,0 +1,104 @@
+"""Worker process entry point.
+
+Each worker attaches the shared-memory graph once, builds its own
+:class:`~repro.core.engine.IBFS` engine (bit-identical to the parent's:
+same config, device model, and direction policy), and then loops on its
+task queue.  A task is ``(epoch, task_id, attempt, group, max_depth,
+want_depths)``; the reply on the shared result queue is either
+
+``("ok", worker_id, epoch, task_id, attempt, depth_spec, depths,
+counters, stats, wall_seconds)``
+    where ``depth_spec`` is a :class:`~repro.exec.shm.SharedArraySpec`
+    for the depth matrix (or ``None`` with ``depths`` carrying the
+    array inline when shared transport is disabled), or
+
+``("error", worker_id, epoch, task_id, attempt, message)``
+    for any exception the task raised.
+
+``epoch`` is the parent's run sequence number, echoed verbatim: task
+ids restart at zero every run, so a straggler reply from a previous
+run can only be told apart — and safely dropped — by its epoch.
+
+The loop exits on a ``None`` sentinel.  Injected faults
+(:class:`~repro.exec.faults.FaultPlan`) are applied before the engine
+runs, keyed on ``(task_id, attempt)`` so they reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.engine import IBFS, IBFSConfig
+from repro.bfs.direction import DirectionPolicy
+from repro.gpusim.config import DeviceConfig
+from repro.gpusim.device import Device
+from repro.exec.faults import FaultPlan
+from repro.exec.shm import SharedGraphHandle, attach_graph, push_array
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Everything a worker needs to rebuild the parent's engine."""
+
+    config: IBFSConfig
+    device_config: Optional[DeviceConfig] = None
+    policy: Optional[DirectionPolicy] = None
+
+    def build(self, graph) -> IBFS:
+        device = Device(self.device_config) if self.device_config else None
+        return IBFS(graph, self.config, device=device, policy=self.policy)
+
+
+def worker_main(
+    worker_id: int,
+    handle: SharedGraphHandle,
+    engine_spec: EngineSpec,
+    task_queue,
+    result_queue,
+    fault_plan: Optional[FaultPlan],
+    shared_depths: bool,
+) -> None:
+    """Run the worker loop until the ``None`` sentinel arrives."""
+    plan = fault_plan or FaultPlan()
+    attached = attach_graph(handle)
+    try:
+        engine = engine_spec.build(attached.graph)
+        while True:
+            message = task_queue.get()
+            if message is None:
+                break
+            epoch, task_id, attempt, group, max_depth, want_depths = message
+            start = time.perf_counter()
+            try:
+                plan.apply(task_id, attempt)
+                result = engine.run_group(group, max_depth=max_depth)
+                wall = time.perf_counter() - start
+                depth_spec = None
+                depths = None
+                if want_depths:
+                    if shared_depths:
+                        depth_spec = push_array(result.depths)
+                    else:
+                        depths = result.depths
+                result_queue.put(
+                    (
+                        "ok",
+                        worker_id,
+                        epoch,
+                        task_id,
+                        attempt,
+                        depth_spec,
+                        depths,
+                        result.counters,
+                        result.groups[0],
+                        wall,
+                    )
+                )
+            except Exception as exc:  # surfaced to the parent as a task error
+                result_queue.put(
+                    ("error", worker_id, epoch, task_id, attempt, str(exc))
+                )
+    finally:
+        attached.close()

@@ -24,10 +24,17 @@ from repro.gpusim.device import Device
 Scheduler = Callable[[Sequence[float], int], np.ndarray]
 
 
-def schedule_round_robin(durations: Sequence[float], num_devices: int) -> np.ndarray:
-    """Static round-robin assignment (what a simple MPI rank split does)."""
+def _check_schedule_args(durations: Sequence[float], num_devices: int) -> None:
+    """Shared validation: both degenerate inputs get the same typed error."""
     if num_devices <= 0:
         raise SimulationError("num_devices must be positive")
+    if len(durations) == 0:
+        raise SimulationError("durations must contain at least one work unit")
+
+
+def schedule_round_robin(durations: Sequence[float], num_devices: int) -> np.ndarray:
+    """Static round-robin assignment (what a simple MPI rank split does)."""
+    _check_schedule_args(durations, num_devices)
     return np.arange(len(durations)) % num_devices
 
 
@@ -39,8 +46,7 @@ def schedule_lpt(durations: Sequence[float], num_devices: int) -> np.ndarray:
     it models a runtime that knows per-group costs (estimable from the
     first levels, per Lemma 2).
     """
-    if num_devices <= 0:
-        raise SimulationError("num_devices must be positive")
+    _check_schedule_args(durations, num_devices)
     durations = np.asarray(durations, dtype=np.float64)
     assignment = np.zeros(durations.size, dtype=np.int64)
     loads = np.zeros(num_devices, dtype=np.float64)

@@ -237,6 +237,52 @@ class CSRGraph:
             self.row_offsets.copy(), self.col_indices.copy(), validate=False
         )
 
+    # ------------------------------------------------------------------
+    # Serialization (worker handoff)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict:
+        """The graph as plain arrays plus its derived caches.
+
+        The payload carries the cached outdegree vector and content
+        fingerprint (when present) so that :meth:`from_arrays` — and
+        therefore pickling — never re-derives them.  The lazily built
+        reverse CSR is deliberately excluded: it is O(|E|) to ship and
+        cheap to rebuild only where actually needed.
+        """
+        return {
+            "row_offsets": self.row_offsets,
+            "col_indices": self.col_indices,
+            "out_degrees": self._out_degrees,
+            "cache_id": self._cache_id,
+        }
+
+    @classmethod
+    def from_arrays(
+        cls,
+        row_offsets: np.ndarray,
+        col_indices: np.ndarray,
+        out_degrees: Optional[np.ndarray] = None,
+        cache_id: Optional[str] = None,
+    ) -> "CSRGraph":
+        """Rebuild a graph from :meth:`to_arrays` output without
+        re-validating or re-deriving the cached degree vector."""
+        graph = cls(row_offsets, col_indices, validate=False)
+        if out_degrees is not None:
+            graph._out_degrees = np.asarray(out_degrees, dtype=VERTEX_DTYPE)
+        graph._cache_id = cache_id
+        return graph
+
+    def __reduce__(self):
+        return (
+            CSRGraph.from_arrays,
+            (
+                self.row_offsets,
+                self.col_indices,
+                self._out_degrees,
+                self._cache_id,
+            ),
+        )
+
 
 def empty_graph(num_vertices: int = 0) -> CSRGraph:
     """A graph with ``num_vertices`` vertices and no edges."""

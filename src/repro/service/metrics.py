@@ -15,13 +15,21 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolation percentile (``q`` in [0, 100]); 0.0 if empty."""
+def percentile(
+    values: Sequence[float], q: float, presorted: bool = False
+) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]); 0.0 if empty.
+
+    Pass ``presorted=True`` when ``values`` is already in ascending
+    order — callers that need several percentiles of the same reservoir
+    sort it once instead of once per quantile.  ``values`` is never
+    mutated either way.
+    """
     if not values:
         return 0.0
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile out of range: {q}")
-    ordered = sorted(values)
+    ordered = values if presorted else sorted(values)
     if len(ordered) == 1:
         return float(ordered[0])
     rank = (q / 100.0) * (len(ordered) - 1)
@@ -90,16 +98,19 @@ class MetricsRegistry:
     # Derived metrics
     # ------------------------------------------------------------------
     def latency_percentiles(self) -> Dict[str, float]:
+        # One sort covers every quantile; the recorded reservoir keeps
+        # its completion order (it is a log, not a scratch buffer).
+        ordered = sorted(self.latencies)
         return {
-            "p50": percentile(self.latencies, 50.0),
-            "p90": percentile(self.latencies, 90.0),
-            "p99": percentile(self.latencies, 99.0),
+            "p50": percentile(ordered, 50.0, presorted=True),
+            "p90": percentile(ordered, 90.0, presorted=True),
+            "p99": percentile(ordered, 99.0, presorted=True),
             "mean": (
-                sum(self.latencies) / len(self.latencies)
-                if self.latencies
+                sum(ordered) / len(ordered)
+                if ordered
                 else 0.0
             ),
-            "max": max(self.latencies) if self.latencies else 0.0,
+            "max": ordered[-1] if ordered else 0.0,
         }
 
     @property

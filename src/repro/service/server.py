@@ -29,7 +29,10 @@ produces bit-identical depths, latencies, and metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.exec.executor import GroupExecutor
 
 import numpy as np
 
@@ -131,6 +134,7 @@ class BFSServer:
         policy: Optional[DirectionPolicy] = None,
         groupby_config: Optional[GroupByConfig] = None,
         fault_injector: Optional[Callable[[Sequence[int]], None]] = None,
+        executor: Optional["GroupExecutor"] = None,
     ) -> None:
         self.graph = graph
         self.serving = serving or ServingConfig()
@@ -138,6 +142,14 @@ class BFSServer:
             group_size=self.serving.batch_size
         )
         self.engine = IBFS(graph, engine_config, device=device, policy=policy)
+        #: Optional multi-process backend: batches that become ready at
+        #: the same simulated instant (one per free device) execute as
+        #: one concurrent wave on the executor's worker pool instead of
+        #: serially in this process.  Responses, metrics, and clocks are
+        #: bit-identical either way; only the host wall-clock changes.
+        self.executor = executor
+        if executor is not None:
+            self._check_executor(executor)
         #: Effective max batch size (configured, clamped by capacity).
         self.batch_size = min(
             self.serving.batch_size, self.engine.effective_group_size()
@@ -162,6 +174,23 @@ class BFSServer:
         self._completed: List[Response] = []
         self._next_id = 0
         self._next_batch_id = 0
+
+    def _check_executor(self, executor: "GroupExecutor") -> None:
+        """An executor over a different graph or engine configuration
+        would compute depths the server's cache keys misattribute —
+        refuse it up front."""
+        if graph_cache_id(executor.graph) != graph_cache_id(self.graph):
+            raise ServiceError(
+                "executor graph does not match the server graph"
+            )
+        if engine_cache_key(executor.engine.config) != engine_cache_key(
+            self.engine.config
+        ):
+            raise ServiceError(
+                "executor engine config does not match the server's; "
+                "batches would traverse under a different configuration "
+                "than responses are cached and keyed for"
+            )
 
     # ------------------------------------------------------------------
     # Client surface
@@ -281,6 +310,9 @@ class BFSServer:
 
     def _dispatch(self, now: float, draining: bool = False) -> None:
         """Launch batches while a device is free and a trigger holds."""
+        if self.executor is not None:
+            self._dispatch_wave(now, draining)
+            return
         self._expire(now)
         while len(self.batcher) > 0:
             device = int(np.argmin(self._device_free))
@@ -295,6 +327,69 @@ class BFSServer:
             else:
                 break
             self._launch(device, now, trigger)
+            self._expire(now)
+
+    def _dispatch_wave(self, now: float, draining: bool = False) -> None:
+        """Executor-backed dispatch: every batch that becomes launchable
+        at this instant (one per free device) executes as one concurrent
+        wave on the worker pool, then bookkeeping applies in formation
+        order — so batch ids, cache puts, responses, and metrics are
+        bit-identical to the inline path."""
+        self._expire(now)
+        while True:
+            wave = []
+            progressed = False
+            while len(self.batcher) > 0:
+                device = int(np.argmin(self._device_free))
+                if self._device_free[device] > now:
+                    break
+                if self.batcher.size_ready():
+                    trigger = "size"
+                elif self.batcher.deadline_ready(now):
+                    trigger = "deadline"
+                elif draining:
+                    trigger = "drain"
+                else:
+                    break
+                sources, batch = self.batcher.take_batch()
+                for item in batch:
+                    item.attempts += 1
+                max_depth = batch[0].max_depth
+                # The chaos hook runs in the parent *during* formation so
+                # a failed batch's retries rejoin the pool before the
+                # next batch forms — exactly the inline ordering.
+                if self.fault_injector is not None:
+                    try:
+                        self.fault_injector(sources)
+                    except ReproError as exc:
+                        self._handle_failure(batch, exc)
+                        self._expire(now)
+                        progressed = True
+                        continue
+                prior_free = self._device_free[device]
+                # Provisionally busy until the wave resolves.
+                self._device_free[device] = float("inf")
+                wave.append(
+                    (device, prior_free, sources, batch, trigger, max_depth)
+                )
+                self._expire(now)
+            if not wave:
+                if not progressed:
+                    return
+                continue
+            results = self.executor.map_groups(
+                [(entry[2], entry[5]) for entry in wave],
+                return_errors=True,
+            )
+            for entry, result in zip(wave, results):
+                device, prior_free, sources, batch, trigger, max_depth = entry
+                if isinstance(result, ReproError):
+                    self._device_free[device] = prior_free
+                    self._handle_failure(batch, result)
+                    continue
+                self._commit_batch(
+                    device, now, trigger, sources, batch, max_depth, result
+                )
             self._expire(now)
 
     def _expire(self, now: float) -> None:
@@ -332,7 +427,20 @@ class BFSServer:
         except ReproError as exc:
             self._handle_failure(batch, exc)
             return
+        self._commit_batch(device, now, trigger, sources, batch, max_depth, result)
 
+    def _commit_batch(
+        self,
+        device: int,
+        now: float,
+        trigger: str,
+        sources: Sequence[int],
+        batch: List[PendingRequest],
+        max_depth: Optional[int],
+        result,
+    ) -> None:
+        """Apply one successful batch's bookkeeping: clocks, metrics,
+        cache population, and per-request responses."""
         batch_id = self._next_batch_id
         self._next_batch_id += 1
         completion = now + result.seconds

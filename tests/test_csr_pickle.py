@@ -1,0 +1,69 @@
+"""CSRGraph pickling: cheap, cache-preserving round trips."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import kronecker
+from repro.service.cache import graph_cache_id
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return kronecker(scale=7, edge_factor=8, seed=31)
+
+
+class TestToFromArrays:
+    def test_round_trip(self, graph):
+        restored = CSRGraph.from_arrays(**graph.to_arrays())
+        assert np.array_equal(restored.row_offsets, graph.row_offsets)
+        assert np.array_equal(restored.col_indices, graph.col_indices)
+        assert restored.num_vertices == graph.num_vertices
+        assert restored.num_edges == graph.num_edges
+
+    def test_payload_carries_caches(self, graph):
+        graph.out_degrees()
+        fingerprint = graph_cache_id(graph)
+        payload = graph.to_arrays()
+        assert np.array_equal(payload["out_degrees"], graph.out_degrees())
+        assert payload["cache_id"] == fingerprint
+
+    def test_from_arrays_skips_validation_but_is_faithful(self, graph):
+        restored = CSRGraph.from_arrays(
+            graph.row_offsets, graph.col_indices
+        )
+        assert restored._out_degrees is None
+        assert np.array_equal(restored.out_degrees(), graph.out_degrees())
+
+
+class TestPickle:
+    def test_round_trip_structure(self, graph):
+        clone = pickle.loads(pickle.dumps(graph))
+        assert np.array_equal(clone.row_offsets, graph.row_offsets)
+        assert np.array_equal(clone.col_indices, graph.col_indices)
+
+    def test_caches_survive_pickling(self, graph):
+        graph.out_degrees()
+        fingerprint = graph_cache_id(graph)
+        clone = pickle.loads(pickle.dumps(graph))
+        # The caches arrive pre-installed: no O(|E|) recompute and no
+        # re-hashing on the receiving side.
+        assert clone._out_degrees is not None
+        assert np.array_equal(clone._out_degrees, graph.out_degrees())
+        assert clone._cache_id == fingerprint
+        assert graph_cache_id(clone) == fingerprint
+
+    def test_unpickled_graph_traverses_identically(self, graph):
+        from repro.bfs.reference import reference_bfs
+
+        clone = pickle.loads(pickle.dumps(graph))
+        assert np.array_equal(
+            reference_bfs(clone, 0), reference_bfs(graph, 0)
+        )
+
+    def test_pickle_excludes_reverse_csr(self, graph):
+        graph.reverse()  # force the lazy build on the original
+        clone = pickle.loads(pickle.dumps(graph))
+        assert clone._reverse is None  # rebuilt lazily where needed

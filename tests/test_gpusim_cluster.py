@@ -15,6 +15,20 @@ class TestSchedulers:
         with pytest.raises(SimulationError):
             schedule_round_robin([1.0], 0)
 
+    def test_lpt_invalid_device_count(self):
+        with pytest.raises(SimulationError):
+            schedule_lpt([1.0], 0)
+
+    @pytest.mark.parametrize("scheduler", [schedule_round_robin, schedule_lpt])
+    def test_empty_durations_same_typed_error(self, scheduler):
+        # Both degenerate inputs fail the same way: schedule_lpt used to
+        # return an empty assignment for empty durations while the
+        # device-count check raised, leaving callers two code paths.
+        with pytest.raises(SimulationError, match="at least one"):
+            scheduler([], 2)
+        with pytest.raises(SimulationError, match="at least one"):
+            scheduler(np.array([]), 2)
+
     def test_lpt_balances_better_than_round_robin(self):
         durations = [10.0, 1.0, 1.0, 1.0, 9.0, 1.0, 1.0, 1.0]
         lpt = Cluster(2, scheduler=schedule_lpt).run(durations)
