@@ -41,6 +41,7 @@ from repro.kernels.reference import (
     ReferenceBitwiseTraversal,
     ReferenceJointTraversal,
 )
+from repro.obs import metrics as obs_metrics
 
 SOURCE_SEED = 11
 
@@ -135,6 +136,26 @@ def run_config(name, scale, edge_factor, group_size, kind, repeats):
     }
 
 
+def publish(results, hub=None):
+    """Register the harness's measurements into the process-wide
+    metrics hub (:mod:`repro.obs.metrics`), so the wall-clock numbers
+    export next to the engines' own counters."""
+    hub = hub if hub is not None else obs_metrics.get_hub()
+    for entry in results:
+        labels = {"config": entry["name"]}
+        hub.gauge(
+            "bench_kernel_speedup",
+            "Kernels-engine speedup over the frozen reference",
+            labels=labels,
+        ).set(entry["speedup"])
+        hub.gauge(
+            "bench_kernel_teps",
+            "Kernels-engine wall-clock TEPS",
+            labels=labels,
+        ).set(entry["after"]["teps"])
+    return hub
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -191,6 +212,7 @@ def main(argv=None):
     }
     output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {output}")
+    publish(results)
 
     if args.check is not None:
         baseline = json.loads(args.check.read_text())

@@ -1,0 +1,231 @@
+#!/usr/bin/env python
+"""Observability overhead gate: profiling must stay within budget.
+
+:mod:`repro.obs.profile` documents a hard ceiling — fully enabled
+tracing + per-level profiling may slow the hot path by at most
+``OVERHEAD_BUDGET`` (5%).  This harness measures it: each configuration
+runs the bitwise engine with observability fully off and fully on
+(tracer installed, ``sample_every=1``), takes the best of ``--repeats``
+wall clocks for each, and reports the overhead ratio
+``enabled/disabled - 1``.
+
+The gate is machine-independent (a ratio on the same host), so
+``--check`` needs no committed baseline: it exits 1 if any
+configuration exceeds the budget.  Results go to ``BENCH_obs.json``
+(or ``BENCH_obs.quick.json`` with ``--quick``); ``--trace PATH``
+additionally writes the final instrumented run's spans and the
+harness's own hub metrics as a JSONL trace artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py            # full
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --quick --check
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --quick \
+        --trace obs-trace.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.bitwise import BitwiseTraversal
+from repro.graph.generators import rmat
+from repro.obs import export as obs_export
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
+from repro.obs import tracing as obs_tracing
+from repro.obs.profile import OVERHEAD_BUDGET
+
+SOURCE_SEED = 23
+
+#: (name, scale, edge_factor, group_size).  Low edge factors raise the
+#: diameter, maximizing levels — and therefore profile spans — per unit
+#: of traversal work, which is the worst case for the budget.
+FULL_CONFIGS = [
+    ("bitwise-rmat15-ef2-gs64", 15, 2, 64),
+    ("bitwise-rmat17-ef2-gs64", 17, 2, 64),
+    ("bitwise-rmat13-ef8-gs32", 13, 8, 32),
+]
+QUICK_CONFIGS = [
+    ("bitwise-rmat14-ef2-gs64", 14, 2, 64),
+]
+FULL_CONFIGS = QUICK_CONFIGS + FULL_CONFIGS
+
+
+def observability_off():
+    obs_profile.disable()
+    obs_tracing.set_tracer(None)
+
+
+def observability_on():
+    tracer = obs_tracing.configure(process="bench")
+    obs_profile.configure(enabled=True, sample_every=1)
+    return tracer
+
+
+def time_group(graph, sources, repeats):
+    """Best-of-``repeats`` wall seconds for one joint group run."""
+    best = float("inf")
+    for _ in range(repeats):
+        engine = BitwiseTraversal(graph)
+        start = time.perf_counter()
+        engine.run_group(sources)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def run_config(name, scale, edge_factor, group_size, repeats):
+    graph = rmat(scale, edge_factor=edge_factor, seed=5)
+    rng = np.random.default_rng(SOURCE_SEED)
+    sources = rng.integers(0, graph.num_vertices, size=group_size).tolist()
+
+    # Warm caches (allocator, BLAS threads) outside the measurement.
+    observability_off()
+    BitwiseTraversal(graph).run_group(sources)
+
+    off_s = time_group(graph, sources, repeats)
+    tracer = observability_on()
+    on_s = time_group(graph, sources, repeats)
+    span_count = len(tracer.finished)
+    observability_off()
+
+    overhead = on_s / off_s - 1.0
+    return {
+        "name": name,
+        "graph": f"rmat scale={scale} edge_factor={edge_factor} seed=5",
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "group_size": group_size,
+        "disabled_seconds": off_s,
+        "enabled_seconds": on_s,
+        "spans_per_run": span_count // repeats,
+        "overhead": overhead,
+        "budget": OVERHEAD_BUDGET,
+    }, tracer
+
+
+def publish(results, hub=None):
+    """Register the harness's measurements into the metrics hub, so the
+    overhead gate's numbers export like any other layer's."""
+    hub = hub if hub is not None else obs_metrics.get_hub()
+    for entry in results:
+        labels = {"config": entry["name"]}
+        hub.gauge(
+            "bench_obs_overhead_ratio",
+            "Fully-enabled profiling slowdown (enabled/disabled - 1)",
+            labels=labels,
+        ).set(entry["overhead"])
+        hub.gauge(
+            "bench_obs_disabled_seconds",
+            "Best-of-repeats wall seconds, observability off",
+            labels=labels,
+        ).set(entry["disabled_seconds"])
+        hub.gauge(
+            "bench_obs_enabled_seconds",
+            "Best-of-repeats wall seconds, observability on",
+            labels=labels,
+        ).set(entry["enabled_seconds"])
+    hub.gauge(
+        "bench_obs_overhead_budget", "Documented overhead ceiling"
+    ).set(OVERHEAD_BUDGET)
+    return hub
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="one small config, fewer repeats (the CI gate)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="timing repeats per observability state",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="result JSON path (default: BENCH_obs.json at repo root; "
+        "BENCH_obs.quick.json in --quick mode)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if any config's overhead exceeds the "
+        f"{OVERHEAD_BUDGET:.0%} budget (no baseline file needed — the "
+        "budget is an absolute ratio)",
+    )
+    parser.add_argument(
+        "--trace", type=Path, default=None,
+        help="write the last instrumented run's spans plus the "
+        "harness metrics as a JSONL trace artifact",
+    )
+    args = parser.parse_args(argv)
+
+    configs = QUICK_CONFIGS if args.quick else FULL_CONFIGS
+    repeats = args.repeats or (3 if args.quick else 5)
+    root = Path(__file__).resolve().parent.parent
+    output = args.output or (
+        root / ("BENCH_obs.quick.json" if args.quick else "BENCH_obs.json")
+    )
+
+    results = []
+    last_tracer = None
+    for cfg in configs:
+        print(f"[{cfg[0]}] running ({repeats} repeats per state)...",
+              flush=True)
+        entry, last_tracer = run_config(*cfg, repeats)
+        results.append(entry)
+        print(
+            f"  off {entry['disabled_seconds']:.3f}s  "
+            f"on {entry['enabled_seconds']:.3f}s  "
+            f"overhead {entry['overhead']:+.2%} "
+            f"(budget {OVERHEAD_BUDGET:.0%}, "
+            f"{entry['spans_per_run']} spans/run)",
+            flush=True,
+        )
+
+    payload = {
+        "benchmark": "obs_overhead",
+        "mode": "quick" if args.quick else "full",
+        "repeats": repeats,
+        "metric": "profiling overhead ratio (enabled/disabled - 1)",
+        "budget": OVERHEAD_BUDGET,
+        "results": results,
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+
+    if args.trace is not None:
+        hub = publish(results, obs_metrics.MetricsHub())
+        count = obs_export.write_jsonl(
+            str(args.trace), obs_export.trace_records(last_tracer, hub)
+        )
+        print(f"wrote {args.trace} ({count} records)")
+
+    if args.check:
+        failed = False
+        for entry in results:
+            if entry["overhead"] > OVERHEAD_BUDGET:
+                print(
+                    f"OVER BUDGET {entry['name']}: overhead "
+                    f"{entry['overhead']:+.2%} > {OVERHEAD_BUDGET:.0%}",
+                    file=sys.stderr,
+                )
+                failed = True
+        if failed:
+            return 1
+        print(
+            f"overhead check passed: all configs within the "
+            f"{OVERHEAD_BUDGET:.0%} budget"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,9 @@ run:
 * ``serve`` — drive the online serving layer with a closed-loop
   workload and print (or export) serving metrics;
 * ``bench-serve`` — micro-batched vs one-request-one-traversal
-  serving throughput on the same workload.
+  serving throughput on the same workload;
+* ``metrics-dump`` — re-render the metric records of a ``run --trace``
+  JSONL file as Prometheus text exposition format.
 
 Usage: ``python -m repro.cli <subcommand> --help`` (or the installed
 ``repro`` console script).
@@ -101,20 +103,41 @@ def cmd_run(args: argparse.Namespace) -> int:
         mode=args.mode,
         groupby=not args.no_groupby,
     )
-    exec_stats = None
-    if args.workers > 0:
-        from repro.exec import ExecConfig, FaultPolicy, GroupExecutor
+    tracer = None
+    if args.trace:
+        from repro import obs
 
-        exec_config = ExecConfig(
-            num_workers=args.workers,
-            scheduler=args.scheduler,
-            faults=FaultPolicy(fail_fast=args.fail_fast),
-        )
-        with GroupExecutor(graph, config, exec_config=exec_config) as executor:
-            result = executor.run(sources, store_depths=False)
-            exec_stats = executor.last_stats
-    else:
-        result = IBFS(graph, config).run(sources, store_depths=False)
+        tracer = obs.configure_tracing(process="cli")
+        obs.configure_profiling(enabled=True)
+    exec_stats = None
+    root = tracer.start_span("run", graph=args.graph,
+                             sources=len(sources)) if tracer else None
+    try:
+        if args.workers > 0:
+            from repro.exec import ExecConfig, FaultPolicy, GroupExecutor
+
+            exec_config = ExecConfig(
+                num_workers=args.workers,
+                scheduler=args.scheduler,
+                faults=FaultPolicy(fail_fast=args.fail_fast),
+            )
+            with GroupExecutor(
+                graph, config, exec_config=exec_config
+            ) as executor:
+                result = executor.run(sources, store_depths=False)
+                exec_stats = executor.last_stats
+        else:
+            result = IBFS(graph, config).run(sources, store_depths=False)
+    finally:
+        if tracer is not None:
+            if root is not None:
+                tracer.finish_span(root)
+            from repro import obs
+
+            lines = obs.write_jsonl(
+                args.trace, obs.trace_records(tracer, obs.get_hub())
+            )
+            print(f"trace             : {args.trace} ({lines} records)")
     print(f"engine            : {result.engine}")
     print(f"instances         : {result.num_instances}")
     print(f"groups            : {len(result.groups)}")
@@ -308,6 +331,18 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics_dump(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    records = obs.read_jsonl(args.trace)
+    metrics = obs.metrics_only(records)
+    if not metrics:
+        print(f"no metric records in {args.trace}", file=sys.stderr)
+        return 1
+    sys.stdout.write(obs.render_prometheus(metrics))
+    return 0
+
+
 def cmd_topk(args: argparse.Namespace) -> int:
     from repro.apps.topk_closeness import top_k_closeness
 
@@ -363,6 +398,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--fail-fast", action="store_true",
                      help="raise on the first worker fault instead of "
                           "retrying within the fault budget")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="enable tracing + profiling and write the "
+                          "span/metric trace as JSON lines to PATH")
     run.set_defaults(func=cmd_run)
 
     cmp_ = sub.add_parser("compare", help="figure-15 style engine ladder")
@@ -396,6 +434,13 @@ def build_parser() -> argparse.ArgumentParser:
     topk.add_argument("graph")
     topk.add_argument("--k", type=int, default=10)
     topk.set_defaults(func=cmd_topk)
+
+    mdump = sub.add_parser(
+        "metrics-dump",
+        help="render a trace file's metric records as Prometheus text",
+    )
+    mdump.add_argument("trace", help="JSONL trace written by `run --trace`")
+    mdump.set_defaults(func=cmd_metrics_dump)
 
     def add_serving_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("graph")

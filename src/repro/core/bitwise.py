@@ -37,6 +37,7 @@ from repro.graph.csr import CSRGraph, VERTEX_DTYPE
 from repro.gpusim.counters import LevelRecord, RunRecord
 from repro.gpusim.device import Device
 from repro.bfs.direction import Direction, DirectionPolicy
+from repro.obs import profile as obs_profile
 from repro.core.result import GroupStats
 from repro.core.sharing import SharingObserver
 from repro.core.status_array import combine_masks, instance_masks, lanes_for
@@ -222,22 +223,30 @@ class BitwiseTraversal:
                 j for j in range(group_size)
                 if active[j] and directions[j] is Direction.BOTTOM_UP
             ]
-            progressed, counts, frontier_edges, frontier = self._level(
-                bsa,
-                depths_vm,
-                masks,
-                workspace,
-                td_instances,
-                bu_instances,
-                level,
-                record,
-                observer,
-                sharing_log,
-                bu_inspections,
-                frontier_deg,
-                frontier,
-                frontier_counts,
-            )
+            # Per-level wall-clock profile span; a no-op flag test when
+            # profiling is off (the <= 5% overhead budget boundary).
+            with obs_profile.span(
+                "level",
+                depth=level,
+                td_instances=len(td_instances),
+                bu_instances=len(bu_instances),
+            ):
+                progressed, counts, frontier_edges, frontier = self._level(
+                    bsa,
+                    depths_vm,
+                    masks,
+                    workspace,
+                    td_instances,
+                    bu_instances,
+                    level,
+                    record,
+                    observer,
+                    sharing_log,
+                    bu_inspections,
+                    frontier_deg,
+                    frontier,
+                    frontier_counts,
+                )
             frontier_counts = counts
             visited_deg += frontier_edges
             unexplored = total_edges - visited_deg

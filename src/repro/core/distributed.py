@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.graph.csr import CSRGraph
+from repro.obs import tracing as obs_tracing
 from repro.gpusim.cluster import Cluster, Scheduler, schedule_lpt
 from repro.gpusim.config import DeviceConfig, KEPLER_K20
 from repro.gpusim.device import Device
@@ -183,12 +184,21 @@ class DistributedIBFS:
         store_depths: bool = False,
     ) -> DistributedResult:
         """Traverse from all sources across the cluster."""
-        local, wall, exec_stats = self._run_local(
-            sources, max_depth, store_depths
-        )
-        durations = local.group_times()
-        cluster = Cluster(self.num_devices, self.device_config, self.scheduler)
-        outcome = cluster.run(durations)
+        sources = [int(s) for s in sources]
+        with obs_tracing.get_tracer().span(
+            "distributed.run",
+            backend=self.backend,
+            num_devices=self.num_devices,
+            num_sources=len(sources),
+        ):
+            local, wall, exec_stats = self._run_local(
+                sources, max_depth, store_depths
+            )
+            durations = local.group_times()
+            cluster = Cluster(
+                self.num_devices, self.device_config, self.scheduler
+            )
+            outcome = cluster.run(durations)
         return DistributedResult(
             local=local,
             num_devices=self.num_devices,

@@ -20,6 +20,7 @@ from repro.gpusim.cluster import Cluster
 from repro.gpusim.counters import ProfilerCounters
 from repro.gpusim.device import Device
 from repro.bfs.direction import DirectionPolicy
+from repro.obs import profile as obs_profile
 from repro.core.bitwise import BitwiseTraversal
 from repro.core.groupby import GroupByConfig, group_sources, random_groups
 from repro.core.joint import JointTraversal
@@ -155,9 +156,12 @@ class IBFS:
                 f"group of {len(group)} exceeds the effective group size "
                 f"{capacity}"
             )
-        depths, record, stats = self._group_engine.run_group(
-            group, max_depth=max_depth
-        )
+        with obs_profile.span(
+            "engine.run_group", group_size=len(group), mode=self.config.mode
+        ):
+            depths, record, stats = self._group_engine.run_group(
+                group, max_depth=max_depth
+            )
         counters = ProfilerCounters()
         counters.merge(record.counters)
         return ConcurrentResult(

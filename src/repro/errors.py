@@ -55,6 +55,18 @@ class RequestFailedError(ServiceError):
     retry budget."""
 
 
+class ObservabilityError(ReproError):
+    """Raised when the observability spine (:mod:`repro.obs`) is
+    misused: metric type conflicts, malformed span records, or invalid
+    exporter input."""
+
+
+class TraceSchemaError(SimulationError):
+    """Raised when a per-level trace row does not match the published
+    ``TRACE_FIELDS`` schema — the exporter fails closed instead of
+    silently emitting drifted columns."""
+
+
 class ExecutorError(ServiceError):
     """Base class for errors raised by the multi-process execution
     backend (:mod:`repro.exec`)."""

@@ -37,7 +37,7 @@ from repro.exec.shm import (
     release_graph,
     shared_memory_available,
 )
-from repro.exec.worker import EngineSpec
+from repro.exec.worker import EngineSpec, ObsSpec
 
 __all__ = [
     "ExecConfig",
@@ -64,4 +64,5 @@ __all__ = [
     "release_graph",
     "shared_memory_available",
     "EngineSpec",
+    "ObsSpec",
 ]

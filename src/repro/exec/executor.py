@@ -49,8 +49,12 @@ from repro.exec.faults import (
     FaultPlan,
     FaultPolicy,
     crash_error,
+    task_error,
     timeout_error,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
+from repro.obs import tracing as obs_tracing
 from repro.exec.scheduler import (
     SCHEDULER_NAMES,
     CostModel,
@@ -64,7 +68,7 @@ from repro.exec.shm import (
     release_graph,
     shared_memory_available,
 )
-from repro.exec.worker import EngineSpec, worker_main
+from repro.exec.worker import EngineSpec, ObsSpec, worker_main
 
 #: Seconds the parent blocks on the result queue per scheduling pass;
 #: bounds crash/hang detection latency, not throughput.
@@ -139,6 +143,10 @@ class ExecStats:
     degraded: bool = False
     per_worker_tasks: Dict[int, int] = field(default_factory=dict)
     events: List[FaultEvent] = field(default_factory=list)
+    #: Diagnostics of every failed attempt — exception text, worker
+    #: traceback, and the in-flight task id — in observation order
+    #: (:meth:`FaultEvent.last_words` payloads).
+    last_words: List[dict] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         payload = {
@@ -155,8 +163,33 @@ class ExecStats:
             "respawns": self.respawns,
             "degraded": self.degraded,
             "per_worker_tasks": dict(self.per_worker_tasks),
+            "last_words": [dict(w) for w in self.last_words],
         }
         return payload
+
+    def publish(self, hub: Optional[obs_metrics.MetricsHub] = None) -> None:
+        """Fold this run's outcome into the process-wide metrics hub."""
+        # Explicit None test: an empty MetricsHub is falsy (len 0).
+        hub = hub if hub is not None else obs_metrics.get_hub()
+        pairs = (
+            ("exec_tasks_total", "Group tasks executed", self.tasks),
+            ("exec_steals_total", "Tasks stolen across workers", self.steals),
+            ("exec_retries_total", "Task attempts retried", self.retries),
+            ("exec_crashes_total", "Worker crashes observed", self.crashes),
+            ("exec_timeouts_total", "Task watchdog timeouts", self.timeouts),
+            ("exec_task_errors_total", "Task errors raised in workers",
+             self.task_errors),
+            ("exec_respawns_total", "Workers respawned", self.respawns),
+        )
+        for name, help_text, value in pairs:
+            hub.counter(name, help_text).inc(value)
+        hub.counter(
+            "exec_degraded_runs_total",
+            "Runs that lost the pool and finished in-process",
+        ).inc(1 if self.degraded else 0)
+        hub.histogram(
+            "exec_run_wall_seconds", "Wall-clock seconds per executor run"
+        ).observe(self.wall_seconds)
 
 
 @dataclass
@@ -338,6 +371,7 @@ class GroupExecutor:
             device_config=self._device_config,
             policy=self._policy_obj,
         )
+        profile_config = obs_profile.get_config()
         process = self._ctx.Process(
             target=worker_main,
             args=(
@@ -348,6 +382,10 @@ class GroupExecutor:
                 self._result_queue,
                 self.exec_config.fault_plan,
                 self.exec_config.shared_depths,
+                ObsSpec(
+                    profile=profile_config.enabled,
+                    sample_every=profile_config.sample_every,
+                ),
             ),
             daemon=True,
             name=f"repro-exec-{worker_id}",
@@ -470,6 +508,7 @@ class GroupExecutor:
     # ------------------------------------------------------------------
     def _execute(self, tasks: List[_Task], collect_errors: bool):
         start = time.perf_counter()
+        tracer = obs_tracing.get_tracer()
         if not self._ensure_pool():
             stats = ExecStats(
                 backend="inprocess",
@@ -477,9 +516,14 @@ class GroupExecutor:
                 scheduler=self.exec_config.scheduler,
                 tasks=len(tasks),
             )
-            outcomes = [self._run_local(t) for t in tasks]
+            with tracer.span(
+                "exec.run", backend="inprocess", tasks=len(tasks),
+                scheduler=self.exec_config.scheduler,
+            ):
+                outcomes = [self._run_local(t) for t in tasks]
             stats.wall_seconds = time.perf_counter() - start
             self.last_stats = stats
+            stats.publish()
             return outcomes
         stats = ExecStats(
             backend="process",
@@ -488,7 +532,12 @@ class GroupExecutor:
             tasks=len(tasks),
         )
         try:
-            outcomes = self._execute_pool(tasks, collect_errors, stats)
+            with tracer.span(
+                "exec.run", backend="process", tasks=len(tasks),
+                scheduler=self.exec_config.scheduler,
+                num_workers=len(self._workers),
+            ):
+                outcomes = self._execute_pool(tasks, collect_errors, stats)
         except BaseException:
             # A raised failure can leave workers mid-task; reset so the
             # next call starts from a clean pool.
@@ -496,14 +545,28 @@ class GroupExecutor:
             raise
         stats.wall_seconds = time.perf_counter() - start
         self.last_stats = stats
+        stats.publish()
         return outcomes
 
     def _run_local(self, task: _Task) -> tuple:
         wall_start = time.perf_counter()
-        result = self.engine.run_group(task.group, max_depth=task.max_depth)
-        self.cost_model.observe(task.group, time.perf_counter() - wall_start)
+        with obs_tracing.get_tracer().span(
+            "exec.local_task", group_size=len(task.group)
+        ):
+            result = self.engine.run_group(task.group, max_depth=task.max_depth)
+        wall = time.perf_counter() - wall_start
+        self.cost_model.observe(task.group, wall)
+        self._task_wall_histogram().observe(wall)
         depths = result.depths if task.want_depths else None
         return depths, result.counters, result.groups[0]
+
+    def _task_wall_histogram(self) -> obs_metrics.Histogram:
+        """Per-task wall-clock distribution in the process-wide hub;
+        looked up per call so a test that swaps the hub is honored."""
+        return obs_metrics.get_hub().histogram(
+            "exec_task_wall_seconds",
+            "Wall-clock seconds per group task (any backend)",
+        )
 
     def _execute_pool(self, tasks: List[_Task], collect_errors: bool, stats: ExecStats):
         policy = self.exec_config.faults
@@ -520,7 +583,8 @@ class GroupExecutor:
         outcomes: List[Optional[object]] = [None] * n
         attempts = [0] * n
         pending = set(range(n))
-        busy: Dict[int, Tuple[int, int, float]] = {}
+        #: worker_id -> (task_id, attempt, started, dispatch_span).
+        busy: Dict[int, Tuple[int, int, float, Optional[object]]] = {}
 
         def fail_task(task_id: int, error: ReproError) -> None:
             if policy.fail_fast or not collect_errors:
@@ -564,6 +628,7 @@ class GroupExecutor:
 
     # -- pool mechanics ------------------------------------------------
     def _hand_out(self, board, busy, tasks, attempts, stats) -> None:
+        tracer = obs_tracing.get_tracer()
         for worker_id in sorted(self._workers):
             if worker_id in busy or not self._workers[worker_id].alive():
                 continue
@@ -571,6 +636,18 @@ class GroupExecutor:
             if task_id is None:
                 continue
             task = tasks[task_id]
+            # One detached (overlapping) span per in-flight dispatch;
+            # its context rides the task message so the worker's spans
+            # parent onto it, and it closes when the reply (or the
+            # fault handler) resolves the attempt.
+            span = tracer.start_span(
+                "exec.dispatch",
+                detached=True,
+                task_id=task_id,
+                worker_id=worker_id,
+                attempt=attempts[task_id],
+                group_size=len(task.group),
+            )
             self._workers[worker_id].task_queue.put(
                 (
                     self._epoch,
@@ -579,12 +656,25 @@ class GroupExecutor:
                     task.group,
                     task.max_depth,
                     task.want_depths,
+                    span.context if span is not None else None,
                 )
             )
-            busy[worker_id] = (task_id, attempts[task_id], time.perf_counter())
+            busy[worker_id] = (
+                task_id, attempts[task_id], time.perf_counter(), span
+            )
             stats.per_worker_tasks[worker_id] = (
                 stats.per_worker_tasks.get(worker_id, 0) + 1
             )
+
+    @staticmethod
+    def _finish_dispatch(entry, status: str = "ok", **attrs) -> None:
+        """Close the dispatch span of a resolved busy entry."""
+        if entry is None:
+            return
+        span = entry[3]
+        if span is not None:
+            span.attrs.update(attrs)
+            obs_tracing.get_tracer().finish_span(span, status=status)
 
     def _next_message(self):
         try:
@@ -597,15 +687,19 @@ class GroupExecutor:
         task_failed,
     ) -> None:
         kind = message[0]
+        tracer = obs_tracing.get_tracer()
         if kind == "ok":
             (_, worker_id, epoch, task_id, attempt, depth_spec, depths,
-             counters, gstats, wall) = message
+             counters, gstats, wall, spans) = message
             stale = (
                 epoch != self._epoch
                 or task_id not in pending
                 or attempt != attempts[task_id]
             )
             if stale:
+                # A straggler's spans (like its depths) belong to a
+                # finished attempt; ingesting them would duplicate the
+                # retry's — drop the whole reply.
                 if depth_spec is not None:
                     discard_array(depth_spec)
                 return
@@ -613,31 +707,39 @@ class GroupExecutor:
                 depths = pop_array(depth_spec)
             outcomes[task_id] = (depths, counters, gstats)
             pending.discard(task_id)
-            busy.pop(worker_id, None)
+            self._finish_dispatch(busy.pop(worker_id, None))
+            tracer.ingest(spans)
             self.cost_model.observe(tasks[task_id].group, wall)
+            self._task_wall_histogram().observe(wall)
             return
         if kind == "error":
-            _, worker_id, epoch, task_id, attempt, detail = message
+            (_, worker_id, epoch, task_id, attempt, detail, worker_tb,
+             spans) = message
             if (
                 epoch != self._epoch
                 or task_id not in pending
                 or attempt != attempts[task_id]
             ):
                 return
-            busy.pop(worker_id, None)
+            self._finish_dispatch(
+                busy.pop(worker_id, None), status="error", error=detail
+            )
+            tracer.ingest(spans)
             stats.task_errors += 1
-            log.record(
+            event = log.record(
                 "task_error",
                 task_id=task_id,
                 worker_id=worker_id,
                 attempt=attempt,
                 detail=detail,
+                traceback=worker_tb,
             )
+            stats.last_words.append(event.last_words())
             task_failed(
                 task_id,
                 attempt,
-                lambda: ExecutorError(
-                    f"task {task_id} failed on worker {worker_id}: {detail}"
+                lambda: task_error(
+                    task_id, worker_id, attempt, detail, worker_tb
                 ),
             )
 
@@ -648,20 +750,23 @@ class GroupExecutor:
                 continue
             entry = busy.pop(worker_id, None)
             if entry is not None:
-                task_id, attempt, _ = entry
+                task_id, attempt = entry[0], entry[1]
                 stats.crashes += 1
-                log.record(
+                detail = f"exitcode {worker.process.exitcode}"
+                self._finish_dispatch(entry, status="error", error=detail)
+                event = log.record(
                     "crash",
                     task_id=task_id,
                     worker_id=worker_id,
                     attempt=attempt,
-                    detail=f"exitcode {worker.process.exitcode}",
+                    detail=detail,
                 )
+                stats.last_words.append(event.last_words())
                 self._replace_worker(worker_id, stats, log)
                 task_failed(
                     task_id,
                     attempt,
-                    lambda: crash_error(task_id, worker_id, attempt),
+                    lambda: crash_error(task_id, worker_id, attempt, detail),
                 )
             else:
                 self._replace_worker(worker_id, stats, log)
@@ -671,18 +776,21 @@ class GroupExecutor:
             return
         now = time.perf_counter()
         for worker_id in list(busy):
-            task_id, attempt, started = busy[worker_id]
+            task_id, attempt, started, _ = busy[worker_id]
             if now - started <= policy.task_timeout:
                 continue
-            busy.pop(worker_id)
+            entry = busy.pop(worker_id)
             stats.timeouts += 1
-            log.record(
+            detail = f"exceeded {policy.task_timeout:.3f}s"
+            self._finish_dispatch(entry, status="error", error=detail)
+            event = log.record(
                 "timeout",
                 task_id=task_id,
                 worker_id=worker_id,
                 attempt=attempt,
-                detail=f"exceeded {policy.task_timeout:.3f}s",
+                detail=detail,
             )
+            stats.last_words.append(event.last_words())
             worker = self._workers[worker_id]
             worker.process.terminate()
             worker.process.join(timeout=1.0)

@@ -111,6 +111,21 @@ class FaultEvent:
     worker_id: Optional[int] = None
     attempt: Optional[int] = None
     detail: str = ""
+    #: The failed attempt's last words: the worker-side formatted
+    #: traceback for task errors (empty for crashes — an ``os._exit``
+    #: or segfault leaves none).
+    traceback: str = ""
+
+    def last_words(self) -> dict:
+        """Diagnostic payload surfaced through ``ExecStats.last_words``."""
+        return {
+            "kind": self.kind,
+            "task_id": self.task_id,
+            "worker_id": self.worker_id,
+            "attempt": self.attempt,
+            "error": self.detail,
+            "traceback": self.traceback,
+        }
 
 
 @dataclass
@@ -119,8 +134,10 @@ class FaultLog:
 
     events: List[FaultEvent] = field(default_factory=list)
 
-    def record(self, kind: str, **kwargs) -> None:
-        self.events.append(FaultEvent(kind=kind, **kwargs))
+    def record(self, kind: str, **kwargs) -> FaultEvent:
+        event = FaultEvent(kind=kind, **kwargs)
+        self.events.append(event)
+        return event
 
     def count(self, kind: str) -> int:
         return sum(1 for e in self.events if e.kind == kind)
@@ -132,11 +149,16 @@ class FaultLog:
         return counts
 
 
-def crash_error(task_id: int, worker_id: int, attempt: int) -> WorkerCrashError:
-    return WorkerCrashError(
+def crash_error(
+    task_id: int, worker_id: int, attempt: int, detail: str = ""
+) -> WorkerCrashError:
+    message = (
         f"worker {worker_id} died executing task {task_id} "
         f"(attempt {attempt}); retry budget exhausted"
     )
+    if detail:
+        message += f" [{detail}]"
+    return WorkerCrashError(message)
 
 
 def timeout_error(task_id: int, worker_id: int, attempt: int) -> WorkerTimeoutError:
@@ -144,3 +166,14 @@ def timeout_error(task_id: int, worker_id: int, attempt: int) -> WorkerTimeoutEr
         f"task {task_id} timed out on worker {worker_id} "
         f"(attempt {attempt}); retry budget exhausted"
     )
+
+
+def task_error(
+    task_id: int, worker_id: int, attempt: int, detail: str, traceback: str = ""
+) -> ExecutorError:
+    """The parent-side error for a task that raised in a worker; carries
+    the worker's last words so ``--fail-fast`` failures are debuggable."""
+    message = f"task {task_id} failed on worker {worker_id}: {detail}"
+    if traceback:
+        message += f"\nworker traceback (attempt {attempt}):\n{traceback.rstrip()}"
+    return ExecutorError(message)

@@ -4,31 +4,43 @@ Each worker attaches the shared-memory graph once, builds its own
 :class:`~repro.core.engine.IBFS` engine (bit-identical to the parent's:
 same config, device model, and direction policy), and then loops on its
 task queue.  A task is ``(epoch, task_id, attempt, group, max_depth,
-want_depths)``; the reply on the shared result queue is either
+want_depths, trace_ctx)``; the reply on the shared result queue is
+either
 
 ``("ok", worker_id, epoch, task_id, attempt, depth_spec, depths,
-counters, stats, wall_seconds)``
+counters, stats, wall_seconds, spans)``
     where ``depth_spec`` is a :class:`~repro.exec.shm.SharedArraySpec`
     for the depth matrix (or ``None`` with ``depths`` carrying the
     array inline when shared transport is disabled), or
 
-``("error", worker_id, epoch, task_id, attempt, message)``
-    for any exception the task raised.
+``("error", worker_id, epoch, task_id, attempt, message, traceback,
+spans)``
+    for any exception the task raised — ``traceback`` is the formatted
+    worker-side traceback, the crashed attempt's "last words", which
+    the parent folds into its fault log instead of discarding.
 
 ``epoch`` is the parent's run sequence number, echoed verbatim: task
 ids restart at zero every run, so a straggler reply from a previous
 run can only be told apart — and safely dropped — by its epoch.
 
+``trace_ctx`` is an optional :data:`~repro.obs.tracing.SpanContext`
+``(trace_id, dispatch_span_id)``: when present, the worker runs the
+task under a ``worker.task`` span parented onto the executor's
+dispatch span, and ships every span it finished (including the
+engine's ``profile.*`` spans) back as plain dicts in ``spans``.
+
 The loop exits on a ``None`` sentinel.  Injected faults
-(:class:`~repro.exec.faults.FaultPlan`) are applied before the engine
-runs, keyed on ``(task_id, attempt)`` so they reproduce exactly.
+(:class:`~repro.exec.faults.FaultPlan`) are applied inside the task
+span, keyed on ``(task_id, attempt)`` so they reproduce exactly.
 """
 
 from __future__ import annotations
 
+import os
 import time
+import traceback as traceback_mod
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.core.engine import IBFS, IBFSConfig
 from repro.bfs.direction import DirectionPolicy
@@ -36,6 +48,8 @@ from repro.gpusim.config import DeviceConfig
 from repro.gpusim.device import Device
 from repro.exec.faults import FaultPlan
 from repro.exec.shm import SharedGraphHandle, attach_graph, push_array
+from repro.obs import profile as obs_profile
+from repro.obs import tracing as obs_tracing
 
 
 @dataclass(frozen=True)
@@ -51,6 +65,37 @@ class EngineSpec:
         return IBFS(graph, self.config, device=device, policy=self.policy)
 
 
+@dataclass(frozen=True)
+class ObsSpec:
+    """Observability configuration shipped to a worker at spawn.
+
+    Captured from the parent's process-wide profiling state when the
+    pool starts, so workers profile identically under both ``fork``
+    and ``spawn`` start methods (where module globals don't inherit).
+    """
+
+    profile: bool = False
+    sample_every: int = 1
+
+
+def _worker_tracer(
+    worker_id: int, trace_id: str, current: Optional[obs_tracing.Tracer]
+) -> obs_tracing.Tracer:
+    """The worker's tracer for one trace, installed process-wide so the
+    engine's profile hooks record into it.  The pid-qualified id prefix
+    keeps a respawned incarnation's span ids distinct from its
+    predecessor's."""
+    if current is not None and current.trace_id == trace_id:
+        return current
+    tracer = obs_tracing.Tracer(
+        process=f"worker-{worker_id}",
+        trace_id=trace_id,
+        id_prefix=f"worker-{worker_id}.{os.getpid()}",
+    )
+    obs_tracing.set_tracer(tracer)
+    return tracer
+
+
 def worker_main(
     worker_id: int,
     handle: SharedGraphHandle,
@@ -59,9 +104,15 @@ def worker_main(
     result_queue,
     fault_plan: Optional[FaultPlan],
     shared_depths: bool,
+    obs_spec: Optional[ObsSpec] = None,
 ) -> None:
     """Run the worker loop until the ``None`` sentinel arrives."""
     plan = fault_plan or FaultPlan()
+    if obs_spec is not None:
+        obs_profile.configure(
+            enabled=obs_spec.profile, sample_every=obs_spec.sample_every
+        )
+    tracer: Optional[obs_tracing.Tracer] = None
     attached = attach_graph(handle)
     try:
         engine = engine_spec.build(attached.graph)
@@ -69,11 +120,27 @@ def worker_main(
             message = task_queue.get()
             if message is None:
                 break
-            epoch, task_id, attempt, group, max_depth, want_depths = message
+            (epoch, task_id, attempt, group, max_depth, want_depths,
+             trace_ctx) = message
             start = time.perf_counter()
+            spans: List[Tuple] = []
             try:
-                plan.apply(task_id, attempt)
-                result = engine.run_group(group, max_depth=max_depth)
+                if trace_ctx is not None:
+                    tracer = _worker_tracer(worker_id, trace_ctx[0], tracer)
+                    with tracer.span(
+                        "worker.task",
+                        parent=trace_ctx,
+                        task_id=task_id,
+                        attempt=attempt,
+                        worker_id=worker_id,
+                        group_size=len(group),
+                    ):
+                        plan.apply(task_id, attempt)
+                        result = engine.run_group(group, max_depth=max_depth)
+                    spans = [s.to_dict() for s in tracer.drain()]
+                else:
+                    plan.apply(task_id, attempt)
+                    result = engine.run_group(group, max_depth=max_depth)
                 wall = time.perf_counter() - start
                 depth_spec = None
                 depths = None
@@ -94,11 +161,23 @@ def worker_main(
                         result.counters,
                         result.groups[0],
                         wall,
+                        spans,
                     )
                 )
             except Exception as exc:  # surfaced to the parent as a task error
+                if tracer is not None:
+                    spans = [s.to_dict() for s in tracer.drain()]
                 result_queue.put(
-                    ("error", worker_id, epoch, task_id, attempt, str(exc))
+                    (
+                        "error",
+                        worker_id,
+                        epoch,
+                        task_id,
+                        attempt,
+                        str(exc),
+                        traceback_mod.format_exc(),
+                        spans,
+                    )
                 )
     finally:
         attached.close()

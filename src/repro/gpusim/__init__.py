@@ -25,9 +25,11 @@ from repro.gpusim.timing import CostModel
 from repro.gpusim.device import Device
 from repro.gpusim.cluster import Cluster, schedule_lpt, schedule_round_robin
 from repro.gpusim.trace import (
+    TRACE_FIELDS,
     record_to_rows,
     record_to_json,
     summarize_record,
+    validate_rows,
 )
 from repro.gpusim.energy import EnergyModel, energy_report
 from repro.gpusim.occupancy import KernelConfig, OccupancyReport, occupancy, best_cta_size
@@ -48,9 +50,11 @@ __all__ = [
     "Cluster",
     "schedule_lpt",
     "schedule_round_robin",
+    "TRACE_FIELDS",
     "record_to_rows",
     "record_to_json",
     "summarize_record",
+    "validate_rows",
     "EnergyModel",
     "energy_report",
     "KernelConfig",

@@ -5,6 +5,12 @@ per-kernel counter timelines; :func:`record_to_rows` and
 :func:`record_to_json` provide the analogous export for simulated runs,
 so results can be inspected, diffed, or post-processed without touching
 engine internals.
+
+The export schema is *fail closed*: :data:`TRACE_FIELDS` is the one
+authoritative column list, and :func:`record_to_json` refuses rows
+whose keys drift from it (:class:`~repro.errors.TraceSchemaError`)
+rather than silently emitting a new shape downstream consumers (the
+``repro.obs.export`` span adapter, diff tooling) never agreed to.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional
 
+from repro.errors import TraceSchemaError
 from repro.gpusim.counters import LevelRecord, RunRecord
 from repro.gpusim.timing import CostModel
 
@@ -51,12 +58,43 @@ def record_to_rows(
     return [level_to_row(level, cost) for level in record.levels]
 
 
+def validate_rows(rows: List[Dict]) -> List[Dict]:
+    """Check every row against :data:`TRACE_FIELDS`, fail closed.
+
+    Raises :class:`~repro.errors.TraceSchemaError` naming the offending
+    row and fields if any row carries unknown fields or misses declared
+    ones.  Returns the rows unchanged so callers can validate inline.
+    """
+    expected = set(TRACE_FIELDS)
+    for index, row in enumerate(rows):
+        keys = set(row)
+        unknown = keys - expected
+        if unknown:
+            raise TraceSchemaError(
+                f"trace row {index} has fields not in TRACE_FIELDS: "
+                f"{sorted(unknown)}"
+            )
+        missing = expected - keys
+        if missing:
+            raise TraceSchemaError(
+                f"trace row {index} is missing declared fields: "
+                f"{sorted(missing)}"
+            )
+    return rows
+
+
 def record_to_json(
     record: RunRecord, cost: Optional[CostModel] = None, indent: int = 2
 ) -> str:
-    """Serialize a run record (levels + final counters) to JSON."""
+    """Serialize a run record (levels + final counters) to JSON.
+
+    Rows are validated against :data:`TRACE_FIELDS` before
+    serialization — schema drift raises
+    :class:`~repro.errors.TraceSchemaError` instead of shipping an
+    undeclared format.
+    """
     payload = {
-        "levels": record_to_rows(record, cost),
+        "levels": validate_rows(record_to_rows(record, cost)),
         "counters": {
             "global_load_transactions": record.counters.global_load_transactions,
             "global_store_transactions": record.counters.global_store_transactions,

@@ -30,6 +30,7 @@ from typing import Callable, Optional, Tuple
 import numpy as np
 
 from repro.kernels.bookkeeping import per_bit_counts
+from repro.obs import profile as obs_profile
 from repro.util import exclusive_cumsum
 
 #: Degree bounds of the short and medium buckets; longer lists are
@@ -130,6 +131,32 @@ def _rows_match(words: np.ndarray, target_row: np.ndarray) -> np.ndarray:
 
 
 def bucketed_or_scan(
+    indices: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    state: np.ndarray,
+    lane_mask: np.ndarray,
+    target: np.ndarray,
+    early_termination: bool,
+    fetch_rows: Callable[[np.ndarray], np.ndarray],
+    inspections_out: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Profiled entry point for :func:`_bucketed_or_scan_impl` (the
+    docstring there is authoritative); emits one
+    ``profile.kernels.bottomup_or_scan`` span per call when profiling
+    is on, a single flag test when off."""
+    with obs_profile.span(
+        "kernels.bottomup_or_scan",
+        positions=int(starts.size),
+        early_termination=bool(early_termination),
+    ):
+        return _bucketed_or_scan_impl(
+            indices, starts, ends, state, lane_mask, target,
+            early_termination, fetch_rows, inspections_out,
+        )
+
+
+def _bucketed_or_scan_impl(
     indices: np.ndarray,
     starts: np.ndarray,
     ends: np.ndarray,
@@ -561,6 +588,22 @@ def _or_pass(
 # First-hit scan (the JSA engine's and single-source bottom-up)
 # ----------------------------------------------------------------------
 def bucketed_hit_scan(
+    indices: np.ndarray,
+    starts: np.ndarray,
+    degrees: np.ndarray,
+    hit: Callable[[np.ndarray, np.ndarray], np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Profiled entry point for :func:`_bucketed_hit_scan_impl` (the
+    docstring there is authoritative); emits one
+    ``profile.kernels.bottomup_hit_scan`` span per call when profiling
+    is on."""
+    with obs_profile.span(
+        "kernels.bottomup_hit_scan", positions=int(starts.size)
+    ):
+        return _bucketed_hit_scan_impl(indices, starts, degrees, hit)
+
+
+def _bucketed_hit_scan_impl(
     indices: np.ndarray,
     starts: np.ndarray,
     degrees: np.ndarray,

@@ -1,0 +1,90 @@
+"""repro.obs — the unified observability spine.
+
+Four small modules replace the four private telemetry formats that grew
+up in the service, exec, kernels, and gpusim layers:
+
+* :mod:`repro.obs.tracing` — span API with explicit clocks and
+  cross-process context propagation (executor -> worker and back);
+* :mod:`repro.obs.metrics` — process-wide facade for counters, gauges,
+  and fixed-bucket histograms, with the one authoritative percentile
+  implementation;
+* :mod:`repro.obs.export` — JSON-lines span/metric export, Prometheus
+  text rendering, and the adapter that puts simulated gpusim counter
+  timelines in the same span schema as real wall-clock profiles;
+* :mod:`repro.obs.profile` — sampling-controlled hot-path hooks with a
+  documented <= 5% overhead budget enforced by
+  ``benchmarks/bench_obs_overhead.py``.
+
+See ``docs/observability.md`` for the span schema, metric naming
+conventions, and exporter formats.
+"""
+
+from repro.obs.export import (
+    metrics_only,
+    pair_level_spans,
+    read_jsonl,
+    render_prometheus,
+    spans_from_level_rows,
+    spans_only,
+    trace_records,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsHub,
+    get_hub,
+    percentile,
+    set_hub,
+)
+from repro.obs.profile import (
+    OVERHEAD_BUDGET,
+    ProfileConfig,
+    configure as configure_profiling,
+    disable as disable_profiling,
+    enabled as profiling_enabled,
+    get_config as get_profile_config,
+)
+from repro.obs.tracing import (
+    Span,
+    SpanContext,
+    Tracer,
+    configure as configure_tracing,
+    get_tracer,
+    set_tracer,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsHub",
+    "OVERHEAD_BUDGET",
+    "ProfileConfig",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "configure_profiling",
+    "configure_tracing",
+    "disable_profiling",
+    "get_hub",
+    "get_profile_config",
+    "get_tracer",
+    "metrics_only",
+    "pair_level_spans",
+    "percentile",
+    "profiling_enabled",
+    "read_jsonl",
+    "render_prometheus",
+    "set_hub",
+    "set_tracer",
+    "spans_from_level_rows",
+    "spans_only",
+    "trace_records",
+    "tracing_enabled",
+    "write_jsonl",
+]

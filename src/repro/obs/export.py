@@ -1,0 +1,221 @@
+"""Exporters: JSON-lines traces, Prometheus text, gpusim adapters.
+
+One file format carries everything a run produced: each line is a JSON
+object tagged ``kind`` — ``"span"`` records from :mod:`.tracing`,
+``"metric"`` records from :mod:`.metrics`.  ``repro run --trace
+out.jsonl`` writes it; ``repro metrics-dump out.jsonl`` re-renders the
+metric lines as Prometheus text format without re-running anything.
+
+:func:`spans_from_level_rows` adapts the *simulated* per-level counter
+timeline (:func:`repro.gpusim.trace.record_to_rows`) into the same span
+schema, so a simulated timeline and a real wall-clock profile of the
+same traversal can be loaded, diffed (:func:`pair_level_spans`), and
+plotted by one tool — the reproduction's analogue of lining up
+profiler counter timelines against kernel wall clocks (figures 18, 19,
+21).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Tuple, Union
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricsHub
+from repro.obs.tracing import Span, Tracer
+
+
+# ----------------------------------------------------------------------
+# JSON lines
+# ----------------------------------------------------------------------
+def trace_records(
+    tracer: Optional[Tracer] = None, hub: Optional[MetricsHub] = None
+) -> List[dict]:
+    """Everything recorded so far, spans first, as JSONL-ready dicts."""
+    records: List[dict] = []
+    if tracer is not None:
+        records.extend(tracer.export_dicts())
+    if hub is not None:
+        records.extend(hub.records())
+    return records
+
+
+def write_jsonl(path_or_file: Union[str, TextIO], records: Iterable[dict]) -> int:
+    """Write records one JSON object per line; returns the line count."""
+    count = 0
+
+    def _write(fh: TextIO) -> int:
+        n = 0
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True))
+            fh.write("\n")
+            n += 1
+        return n
+
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w") as fh:
+            count = _write(fh)
+    else:
+        count = _write(path_or_file)
+    return count
+
+
+def read_jsonl(path: str) -> List[dict]:
+    """Load a JSON-lines trace file (blank lines ignored)."""
+    records = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ObservabilityError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from exc
+    return records
+
+
+def spans_only(records: Iterable[dict]) -> List[dict]:
+    return [r for r in records if r.get("kind") == "span"]
+
+
+def metrics_only(records: Iterable[dict]) -> List[dict]:
+    return [r for r in records if r.get("kind") == "metric"]
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format
+# ----------------------------------------------------------------------
+def _fmt_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_labels(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{k}="{v}"' for k, v in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def render_prometheus(
+    source: Union[MetricsHub, Iterable[dict]]
+) -> str:
+    """Render metrics as Prometheus text exposition format.
+
+    ``source`` is either a live :class:`MetricsHub` or an iterable of
+    records (e.g. the ``kind == "metric"`` lines of a trace file) —
+    both render identically, which is what lets ``repro metrics-dump``
+    reproduce a finished run's scrape page offline.
+    """
+    records = (
+        source.records() if isinstance(source, MetricsHub)
+        else metrics_only(source)
+    )
+    lines: List[str] = []
+    seen_headers = set()
+    for record in records:
+        name = record["name"]
+        mtype = record["type"]
+        labels = record.get("labels", {})
+        if name not in seen_headers:
+            help_text = record.get("help", "")
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {mtype}")
+            seen_headers.add(name)
+        if mtype == "histogram":
+            bounds = record["bounds"]
+            cumulative = record["cumulative_counts"]
+            for bound, count in zip(bounds, cumulative):
+                le = "+Inf" if bound in ("+Inf", math.inf) else _fmt_value(bound)
+                lines.append(
+                    f"{name}_bucket{_fmt_labels(labels, {'le': le})} {count}"
+                )
+            lines.append(
+                f"{name}_sum{_fmt_labels(labels)} {_fmt_value(record['sum'])}"
+            )
+            lines.append(
+                f"{name}_count{_fmt_labels(labels)} {record['count']}"
+            )
+        else:
+            lines.append(
+                f"{name}{_fmt_labels(labels)} {_fmt_value(record['value'])}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# gpusim adapter
+# ----------------------------------------------------------------------
+def spans_from_level_rows(
+    rows: Sequence[dict],
+    trace_id: str = "trace-sim",
+    process: str = "gpusim",
+    parent_id: Optional[str] = None,
+) -> List[dict]:
+    """Simulated per-level trace rows as span records.
+
+    ``rows`` is the output of :func:`repro.gpusim.trace.record_to_rows`
+    (run it with a cost model so ``seconds`` is populated; rows priced
+    ``None`` get zero-duration spans).  Levels are laid end to end on a
+    simulated clock starting at 0.0 — the per-level counters land in
+    ``attrs`` untouched, so a row survives the round trip through the
+    span schema.
+    """
+    spans: List[dict] = []
+    clock = 0.0
+    for i, row in enumerate(rows):
+        seconds = row.get("seconds") or 0.0
+        attrs = {k: v for k, v in row.items() if k != "seconds"}
+        span = Span(
+            name="sim.level",
+            trace_id=trace_id,
+            span_id=f"{process}-{i + 1}",
+            parent_id=parent_id,
+            start=clock,
+            end=clock + seconds,
+            process=process,
+            attrs=attrs,
+        )
+        clock += seconds
+        spans.append(span.to_dict())
+    return spans
+
+
+def pair_level_spans(
+    real: Iterable[dict], sim: Iterable[dict]
+) -> List[Tuple[Optional[dict], Optional[dict]]]:
+    """Align real profile level spans with simulated level spans.
+
+    Matches on the ``depth`` attr: real spans are the profiler's
+    ``profile.level`` spans, simulated spans come from
+    :func:`spans_from_level_rows`.  Returns ``(real, sim)`` pairs in
+    depth order with ``None`` for a side that has no span at that depth
+    — the raw material for a wall-clock-vs-simulated diff.
+    """
+    def by_depth(records, name):
+        out: Dict[int, dict] = {}
+        for r in records:
+            if r.get("kind") != "span" or r.get("name") != name:
+                continue
+            depth = r.get("attrs", {}).get("depth")
+            if depth is not None and depth not in out:
+                out[int(depth)] = r
+        return out
+
+    real_levels = by_depth(real, "profile.level")
+    sim_levels = by_depth(sim, "sim.level")
+    depths = sorted(set(real_levels) | set(sim_levels))
+    return [(real_levels.get(d), sim_levels.get(d)) for d in depths]

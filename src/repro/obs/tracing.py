@@ -1,0 +1,280 @@
+"""Lightweight span tracing with explicit clocks and cross-process context.
+
+A :class:`Span` is one timed operation — a server batch launch, an
+executor dispatch, a worker task, a traversal level.  Spans form a tree
+through ``parent_id``, and the tree crosses process boundaries: the
+executor ships a :data:`SpanContext` (``(trace_id, span_id)``) to a
+worker inside the task message, the worker parents its spans onto it,
+and ships the finished spans (as plain dicts) back with the reply,
+where :meth:`Tracer.ingest` merges them into the parent's buffer.
+
+Two properties keep the tracer honest in this repository:
+
+* **explicit clocks** — a :class:`Tracer` takes any zero-argument
+  ``clock`` callable; tests pass a fake clock and get bit-identical
+  span timings, production uses :func:`time.perf_counter`.  Timestamps
+  are *per-process monotonic* seconds: spans from different processes
+  share a trace id and a parent chain, not a clock epoch (``process``
+  tags which clock a span was measured on).
+* **deterministic ids** — span ids are ``{process}-{sequence}``, so a
+  trace is reproducible and worker ids cannot collide with parent ids.
+
+The module-level tracer (:func:`get_tracer` / :func:`set_tracer`) is
+what instrumented code records into; it defaults to a disabled tracer,
+so uninstrumented runs pay one attribute check per span site.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ObservabilityError
+
+#: What crosses a process (or module) boundary: ``(trace_id, span_id)``.
+SpanContext = Tuple[str, str]
+
+
+@dataclass
+class Span:
+    """One timed operation in a trace tree."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    start: float
+    end: Optional[float] = None
+    #: Which process's monotonic clock measured this span.
+    process: str = "main"
+    attrs: Dict[str, object] = field(default_factory=dict)
+    #: ``"ok"`` or ``"error"``.
+    status: str = "ok"
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and finish (0.0 while open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def context(self) -> SpanContext:
+        return (self.trace_id, self.span_id)
+
+    def to_dict(self) -> dict:
+        """JSON-lines record (``kind: "span"``) for :mod:`repro.obs.export`."""
+        return {
+            "kind": "span",
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "process": self.process,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Span":
+        if record.get("kind", "span") != "span":
+            raise ObservabilityError(
+                f"not a span record: kind={record.get('kind')!r}"
+            )
+        return cls(
+            name=record["name"],
+            trace_id=record["trace_id"],
+            span_id=record["span_id"],
+            parent_id=record.get("parent_id"),
+            start=record["start"],
+            end=record.get("end"),
+            process=record.get("process", "main"),
+            attrs=dict(record.get("attrs", {})),
+            status=record.get("status", "ok"),
+        )
+
+
+class Tracer:
+    """Records spans against one explicit clock.
+
+    Parameters
+    ----------
+    process:
+        Tag naming the process/component whose clock measures the spans
+        (``"cli"``, ``"server"``, ``"worker-1"``); also the id prefix.
+    clock:
+        Zero-argument callable returning monotonic seconds.  Defaults
+        to :func:`time.perf_counter`; tests pass a fake.
+    enabled:
+        A disabled tracer records nothing and its :meth:`span` context
+        manager yields ``None`` immediately.
+    trace_id:
+        Trace this tracer contributes to; defaults to
+        ``"trace-{process}"``.  A worker tracer adopts the parent's.
+    id_prefix:
+        Span-id prefix; defaults to ``process``.  A respawned worker
+        reuses its predecessor's process tag but must mint fresh ids —
+        it passes a pid-qualified prefix here.
+    """
+
+    def __init__(
+        self,
+        process: str = "main",
+        clock: Optional[Callable[[], float]] = None,
+        enabled: bool = True,
+        trace_id: Optional[str] = None,
+        id_prefix: Optional[str] = None,
+    ) -> None:
+        self.process = process
+        self.enabled = enabled
+        self.trace_id = trace_id or f"trace-{process}"
+        self._id_prefix = id_prefix or process
+        self._clock = clock or time.perf_counter
+        self._seq = 0
+        #: Open spans entered via :meth:`span`, innermost last.
+        self._stack: List[Span] = []
+        #: Finished (and ingested) spans, in completion order.
+        self.finished: List[Span] = []
+
+    # ------------------------------------------------------------------
+    def _new_id(self) -> str:
+        self._seq += 1
+        return f"{self._id_prefix}-{self._seq}"
+
+    def now(self) -> float:
+        return float(self._clock())
+
+    def current_context(self) -> Optional[SpanContext]:
+        """Context of the innermost open span (for propagation)."""
+        if not self._stack:
+            return None
+        return self._stack[-1].context
+
+    # ------------------------------------------------------------------
+    def start_span(
+        self,
+        name: str,
+        parent: Optional[SpanContext] = None,
+        detached: bool = False,
+        **attrs,
+    ) -> Optional[Span]:
+        """Open a span; ``None`` when the tracer is disabled.
+
+        ``parent`` overrides the innermost open span as the parent (the
+        cross-process case).  A ``detached`` span is not pushed onto the
+        nesting stack — use it for overlapping operations (e.g. one
+        dispatch span per busy worker) and close it explicitly with
+        :meth:`finish_span`.
+        """
+        if not self.enabled:
+            return None
+        if parent is not None:
+            trace_id, parent_id = parent
+        else:
+            trace_id = self.trace_id
+            ctx = self.current_context()
+            parent_id = ctx[1] if ctx else None
+        span = Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=self._new_id(),
+            parent_id=parent_id,
+            start=self.now(),
+            process=self.process,
+            attrs=dict(attrs),
+        )
+        if not detached:
+            self._stack.append(span)
+        return span
+
+    def finish_span(self, span: Optional[Span], status: Optional[str] = None) -> None:
+        """Close a span and move it to the finished buffer."""
+        if span is None or not self.enabled:
+            return
+        if status is not None:
+            span.status = status
+        if span.end is None:
+            span.end = self.now()
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # out-of-order close: drop descendants
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()
+            self._stack.pop()
+        self.finished.append(span)
+
+    @contextmanager
+    def span(self, name: str, parent: Optional[SpanContext] = None, **attrs):
+        """Context manager form; yields the span (or ``None`` disabled)."""
+        if not self.enabled:
+            yield None
+            return
+        span = self.start_span(name, parent=parent, **attrs)
+        try:
+            yield span
+        except BaseException:
+            span.status = "error"
+            raise
+        finally:
+            self.finish_span(span)
+
+    # ------------------------------------------------------------------
+    def ingest(self, records: Iterable[dict]) -> List[Span]:
+        """Merge foreign finished spans (reply payloads) into this trace."""
+        if not self.enabled:
+            return []
+        spans = [Span.from_dict(r) for r in records]
+        self.finished.extend(spans)
+        return spans
+
+    def drain(self) -> List[Span]:
+        """Pop and return all finished spans."""
+        done, self.finished = self.finished, []
+        return done
+
+    def export_dicts(self) -> List[dict]:
+        """Finished spans as JSON-lines records (buffer untouched)."""
+        return [span.to_dict() for span in self.finished]
+
+
+class _DisabledTracer(Tracer):
+    """The default module tracer: permanently off."""
+
+    def __init__(self) -> None:
+        super().__init__(process="disabled", enabled=False)
+
+
+_DISABLED = _DisabledTracer()
+_tracer: Tracer = _DISABLED
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer instrumented code records into."""
+    return _tracer
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Install (or, with ``None``, remove) the process-wide tracer."""
+    global _tracer
+    _tracer = tracer if tracer is not None else _DISABLED
+    return _tracer
+
+
+def configure(
+    process: str = "main",
+    clock: Optional[Callable[[], float]] = None,
+    trace_id: Optional[str] = None,
+) -> Tracer:
+    """Create and install an enabled process-wide tracer."""
+    return set_tracer(
+        Tracer(process=process, clock=clock, enabled=True, trace_id=trace_id)
+    )
+
+
+def tracing_enabled() -> bool:
+    return _tracer.enabled

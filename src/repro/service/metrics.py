@@ -6,37 +6,30 @@ degree (the paper's figure 6 metric, observed per served batch), cache
 effectiveness, and queue depth.  Everything is a plain counter or a
 bounded reservoir over simulated seconds, so snapshots are
 deterministic and JSON-serializable.
+
+Latency distribution math routes through
+:class:`repro.obs.metrics.Histogram` — the same fixed bucket
+boundaries and the same percentile implementation the executor's task
+wall-clock distribution uses — so serving and exec latencies are
+directly comparable.  :func:`repro.obs.metrics.percentile` is
+re-exported here for backward compatibility.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsHub,
+    get_hub,
+    percentile,
+)
 
-def percentile(
-    values: Sequence[float], q: float, presorted: bool = False
-) -> float:
-    """Linear-interpolation percentile (``q`` in [0, 100]); 0.0 if empty.
-
-    Pass ``presorted=True`` when ``values`` is already in ascending
-    order — callers that need several percentiles of the same reservoir
-    sort it once instead of once per quantile.  ``values`` is never
-    mutated either way.
-    """
-    if not values:
-        return 0.0
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"percentile out of range: {q}")
-    ordered = values if presorted else sorted(values)
-    if len(ordered) == 1:
-        return float(ordered[0])
-    rank = (q / 100.0) * (len(ordered) - 1)
-    low = int(rank)
-    high = min(low + 1, len(ordered) - 1)
-    frac = rank - low
-    return float(ordered[low] * (1.0 - frac) + ordered[high] * frac)
+__all__ = ["BatchRecord", "MetricsRegistry", "percentile"]
 
 
 @dataclass
@@ -78,6 +71,16 @@ class MetricsRegistry:
     batches: List[BatchRecord] = field(default_factory=list)
     queue_depths: List[int] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        #: Fixed-bucket latency distribution (simulated seconds); the
+        #: same bucket boundaries as ``exec_task_wall_seconds``, so the
+        #: two histograms diff bucket by bucket.
+        self.latency_histogram = Histogram(
+            "serving_latency_seconds",
+            "Per-request serving latency (simulated seconds)",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
@@ -90,6 +93,7 @@ class MetricsRegistry:
         if cached:
             self.cache_hits += 1
         self.latencies.append(latency)
+        self.latency_histogram.observe(latency)
 
     def record_batch(self, record: BatchRecord) -> None:
         self.batches.append(record)
@@ -98,19 +102,18 @@ class MetricsRegistry:
     # Derived metrics
     # ------------------------------------------------------------------
     def latency_percentiles(self) -> Dict[str, float]:
-        # One sort covers every quantile; the recorded reservoir keeps
-        # its completion order (it is a log, not a scratch buffer).
-        ordered = sorted(self.latencies)
+        # One sort covers every quantile; the histogram's retained
+        # reservoir keeps completion order (it is a log, not a scratch
+        # buffer) and the quantile math is obs.metrics' — shared with
+        # every other latency distribution in the system.
+        hist = self.latency_histogram
+        quantiles = hist.quantiles((50.0, 90.0, 99.0))
         return {
-            "p50": percentile(ordered, 50.0, presorted=True),
-            "p90": percentile(ordered, 90.0, presorted=True),
-            "p99": percentile(ordered, 99.0, presorted=True),
-            "mean": (
-                sum(ordered) / len(ordered)
-                if ordered
-                else 0.0
-            ),
-            "max": ordered[-1] if ordered else 0.0,
+            "p50": quantiles[50.0],
+            "p90": quantiles[90.0],
+            "p99": quantiles[99.0],
+            "mean": hist.mean,
+            "max": hist.max,
         }
 
     @property
@@ -178,6 +181,40 @@ class MetricsRegistry:
         if cache_stats is not None:
             payload["cache"] = dict(cache_stats)
         return payload
+
+    def publish(self, hub: Optional[MetricsHub] = None) -> None:
+        """Register this registry's state into the process-wide hub so
+        one exporter (Prometheus text, trace JSONL) covers serving.
+
+        Counts are exported as gauges (they are totals-so-far, not
+        increments, so republishing after more traffic just refreshes
+        them); the latency histogram is adopted wholesale.
+        """
+        # Explicit None test: an empty MetricsHub is falsy (len 0).
+        hub = hub if hub is not None else get_hub()
+        totals = (
+            ("serving_requests_submitted", "Requests admitted", self.submitted),
+            ("serving_requests_completed", "Requests completed", self.completed),
+            ("serving_cache_hits", "Requests answered from cache",
+             self.cache_hits),
+            ("serving_requests_shed", "Requests shed by backpressure",
+             self.shed),
+            ("serving_requests_timeout", "Requests timed out", self.timeouts),
+            ("serving_requests_failed", "Requests failed", self.failures),
+            ("serving_retries", "Request retries", self.retries),
+            ("serving_batches", "Batches executed", len(self.batches)),
+            ("serving_mean_occupancy", "Mean batch occupancy",
+             self.mean_occupancy),
+            ("serving_mean_sharing_degree",
+             "Mean realized sharing degree per batch",
+             self.mean_sharing_degree),
+            ("serving_mean_queue_depth", "Mean pending-queue depth",
+             self.mean_queue_depth),
+        )
+        for name, help_text, value in totals:
+            hub.gauge(name, help_text).set(float(value))
+        if hub.get(self.latency_histogram.name) is None:
+            hub.register(self.latency_histogram)
 
     def to_json(self, elapsed: Optional[float] = None,
                 cache_stats: Optional[dict] = None, indent: int = 2) -> str:

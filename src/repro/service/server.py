@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.errors import QueueFullError, ReproError, ServiceError
 from repro.graph.csr import CSRGraph
+from repro.obs import tracing as obs_tracing
 from repro.gpusim.device import Device
 from repro.bfs.direction import DirectionPolicy
 from repro.core.engine import IBFS, IBFSConfig
@@ -377,10 +378,15 @@ class BFSServer:
                 if not progressed:
                     return
                 continue
-            results = self.executor.map_groups(
-                [(entry[2], entry[5]) for entry in wave],
-                return_errors=True,
-            )
+            with obs_tracing.get_tracer().span(
+                "serve.wave",
+                batches=len(wave),
+                sources=sum(len(entry[2]) for entry in wave),
+            ):
+                results = self.executor.map_groups(
+                    [(entry[2], entry[5]) for entry in wave],
+                    return_errors=True,
+                )
             for entry, result in zip(wave, results):
                 device, prior_free, sources, batch, trigger, max_depth = entry
                 if isinstance(result, ReproError):
@@ -421,9 +427,16 @@ class BFSServer:
         max_depth = batch[0].max_depth
 
         try:
-            if self.fault_injector is not None:
-                self.fault_injector(sources)
-            result = self.engine.run_group(sources, max_depth=max_depth)
+            with obs_tracing.get_tracer().span(
+                "serve.batch",
+                device=device,
+                trigger=trigger,
+                num_sources=len(sources),
+                num_requests=len(batch),
+            ):
+                if self.fault_injector is not None:
+                    self.fault_injector(sources)
+                result = self.engine.run_group(sources, max_depth=max_depth)
         except ReproError as exc:
             self._handle_failure(batch, exc)
             return

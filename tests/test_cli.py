@@ -109,6 +109,57 @@ class TestSSSPAndTopK:
         assert "closeness=" in out
 
 
+class TestTraceAndMetricsDump:
+    @pytest.fixture(autouse=True)
+    def _reset_obs(self):
+        yield
+        from repro.obs import metrics, profile, tracing
+
+        tracing.set_tracer(None)
+        metrics.set_hub(None)
+        profile.disable()
+
+    def test_run_trace_writes_parented_spans(self, saved_graph, tmp_path,
+                                             capsys):
+        import json
+
+        path, _ = saved_graph
+        trace = tmp_path / "out.jsonl"
+        assert main([
+            "run", path, "--sources", "16", "--group-size", "8",
+            "--trace", str(trace),
+        ]) == 0
+        assert f"trace             : {trace}" in capsys.readouterr().out
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        spans = [r for r in records if r["kind"] == "span"]
+        names = {s["name"] for s in spans}
+        assert "run" in names
+        assert "profile.level" in names
+        roots = [s for s in spans if s["parent_id"] is None]
+        assert [s["name"] for s in roots] == ["run"]
+
+    def test_metrics_dump_renders_prometheus_text(self, saved_graph,
+                                                  tmp_path, capsys):
+        path, _ = saved_graph
+        trace = tmp_path / "out.jsonl"
+        assert main([
+            "run", path, "--sources", "16", "--group-size", "8",
+            "--workers", "2", "--trace", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["metrics-dump", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE exec_tasks_total counter" in out
+        assert 'exec_task_wall_seconds_bucket{le="+Inf"}' in out
+        assert "exec_task_wall_seconds_count" in out
+
+    def test_metrics_dump_without_metrics_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["metrics-dump", str(empty)]) == 1
+        assert "no metric records" in capsys.readouterr().err
+
+
 def test_missing_subcommand_exits():
     with pytest.raises(SystemExit):
         main([])

@@ -1,0 +1,151 @@
+"""Exporters: JSONL traces, Prometheus text, the gpusim span adapter."""
+
+import pytest
+
+from repro.bfs.single import SingleBFS
+from repro.graph.generators import kronecker
+from repro.gpusim.device import Device
+from repro.gpusim.trace import record_to_rows
+from repro.obs.export import (
+    metrics_only,
+    pair_level_spans,
+    read_jsonl,
+    render_prometheus,
+    spans_from_level_rows,
+    spans_only,
+    trace_records,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricsHub
+from repro.obs.tracing import Tracer
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.t = start
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+@pytest.fixture
+def populated():
+    tracer = Tracer(process="t", clock=FakeClock())
+    with tracer.span("outer"):
+        with tracer.span("inner", depth=1):
+            pass
+    hub = MetricsHub()
+    hub.counter("tasks_total", help="tasks").inc(3)
+    hub.histogram("lat", help="latency", buckets=(0.5, 1.0)).observe(0.7)
+    return tracer, hub
+
+
+class TestJsonl:
+    def test_roundtrip(self, populated, tmp_path):
+        tracer, hub = populated
+        records = trace_records(tracer, hub)
+        path = tmp_path / "trace.jsonl"
+        count = write_jsonl(str(path), records)
+        assert count == len(records) == 4
+        assert read_jsonl(str(path)) == records
+
+    def test_spans_first_then_metrics(self, populated):
+        tracer, hub = populated
+        kinds = [r["kind"] for r in trace_records(tracer, hub)]
+        assert kinds == ["span", "span", "metric", "metric"]
+
+    def test_filters(self, populated):
+        tracer, hub = populated
+        records = trace_records(tracer, hub)
+        assert len(spans_only(records)) == 2
+        assert len(metrics_only(records)) == 2
+
+    def test_write_accepts_open_file(self, populated, tmp_path):
+        tracer, hub = populated
+        path = tmp_path / "t.jsonl"
+        with open(path, "w") as fh:
+            write_jsonl(fh, trace_records(tracer, hub))
+        assert len(read_jsonl(str(path))) == 4
+
+
+class TestPrometheus:
+    def test_counter_rendering(self):
+        hub = MetricsHub()
+        hub.counter("requests_total", help="served").inc(5)
+        text = render_prometheus(hub)
+        assert "# HELP requests_total served" in text
+        assert "# TYPE requests_total counter" in text
+        assert "requests_total 5" in text
+
+    def test_histogram_rendering_is_cumulative(self):
+        hub = MetricsHub()
+        h = hub.histogram("lat", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        text = render_prometheus(hub)
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="2"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_sum 2" in text
+        assert "lat_count 2" in text
+
+    def test_labels_rendered_sorted(self):
+        hub = MetricsHub()
+        hub.counter("n", labels={"b": "2", "a": "1"}).inc()
+        assert 'n{a="1",b="2"} 1' in render_prometheus(hub)
+
+    def test_live_hub_and_file_records_render_identically(
+        self, populated, tmp_path
+    ):
+        tracer, hub = populated
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(str(path), trace_records(tracer, hub))
+        assert render_prometheus(hub) == render_prometheus(
+            read_jsonl(str(path))
+        )
+
+    def test_empty_hub_renders_empty(self):
+        assert render_prometheus(MetricsHub()) == ""
+
+
+class TestGpusimAdapter:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        graph = kronecker(scale=7, edge_factor=8, seed=17)
+        device = Device()
+        result = SingleBFS(graph, device).run(0)
+        return record_to_rows(result.record, device.cost)
+
+    def test_levels_laid_end_to_end(self, rows):
+        spans = spans_from_level_rows(rows)
+        assert len(spans) == len(rows)
+        clock = 0.0
+        for span, row in zip(spans, rows):
+            assert span["kind"] == "span"
+            assert span["name"] == "sim.level"
+            assert span["process"] == "gpusim"
+            assert span["start"] == pytest.approx(clock)
+            assert span["duration"] == pytest.approx(row["seconds"])
+            clock += row["seconds"]
+
+    def test_counters_survive_in_attrs(self, rows):
+        span = spans_from_level_rows(rows)[0]
+        row = rows[0]
+        for key in ("depth", "direction", "load_transactions"):
+            assert span["attrs"][key] == row[key]
+
+    def test_pairing_matches_on_depth(self, rows):
+        sim = spans_from_level_rows(rows)
+        tracer = Tracer(process="real", clock=FakeClock())
+        # Real profile covers only the first two levels.
+        for depth in (0, 1):
+            with tracer.span("profile.level", depth=depth):
+                pass
+        real = tracer.export_dicts()
+        pairs = pair_level_spans(real, sim)
+        assert len(pairs) == len(rows)
+        assert pairs[0][0] is not None and pairs[0][1] is not None
+        assert pairs[0][0]["attrs"]["depth"] == 0
+        assert all(r is None for r, _ in pairs[2:])
+        assert all(s is not None for _, s in pairs)

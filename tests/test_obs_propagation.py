@@ -1,0 +1,182 @@
+"""Cross-process span propagation and worker last-words.
+
+The executor ships a span context inside each task message; the worker
+parents its ``worker.task`` (and profile) spans onto it and ships them
+back with the reply.  These tests pin the two hard guarantees:
+
+* **exactly-once under retry** — a task that fails and retries leaves
+  exactly one ``worker.task`` span per *attempt*, each parented to that
+  attempt's own ``exec.dispatch`` span, and a straggler reply from a
+  superseded attempt contributes nothing;
+* **last words survive the worker** — the exception text, worker-side
+  traceback, and in-flight task id of every failed attempt land in
+  ``ExecStats.last_words`` and in the ``--fail-fast`` error message.
+"""
+
+import pytest
+
+from repro.errors import ExecutorError
+from repro.graph.generators import kronecker
+from repro.core.engine import IBFSConfig
+from repro.exec import (
+    ExecConfig,
+    FaultPlan,
+    FaultPolicy,
+    GroupExecutor,
+)
+from repro.exec.shm import shared_memory_available
+from repro.obs import tracing
+
+needs_shm = pytest.mark.skipif(
+    not shared_memory_available(),
+    reason="multiprocessing.shared_memory unavailable",
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolate_tracer():
+    yield
+    tracing.set_tracer(None)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return kronecker(scale=7, edge_factor=8, seed=9)
+
+
+def run_traced(graph, sources=32, **exec_kwargs):
+    tracer = tracing.configure(process="cli")
+    with GroupExecutor(
+        graph,
+        IBFSConfig(group_size=8),
+        exec_config=ExecConfig(num_workers=2, **exec_kwargs),
+    ) as executor:
+        result = executor.run(list(range(sources)), store_depths=True)
+        stats = executor.last_stats
+    return tracer, result, stats
+
+
+def spans_by_name(tracer, name):
+    return [s for s in tracer.finished if s.name == name]
+
+
+@needs_shm
+class TestSpanPropagation:
+    def test_worker_spans_parent_onto_dispatch(self, graph):
+        tracer, _, _ = run_traced(graph)
+        dispatches = {s.span_id: s for s in
+                      spans_by_name(tracer, "exec.dispatch")}
+        tasks = spans_by_name(tracer, "worker.task")
+        assert tasks
+        for task in tasks:
+            assert task.parent_id in dispatches
+            parent = dispatches[task.parent_id]
+            assert parent.attrs["task_id"] == task.attrs["task_id"]
+            assert parent.attrs["attempt"] == task.attrs["attempt"]
+            assert task.trace_id == tracer.trace_id
+            assert task.process.startswith("worker-")
+
+    def test_one_dispatch_span_per_attempt(self, graph):
+        tracer, _, stats = run_traced(graph)
+        dispatches = spans_by_name(tracer, "exec.dispatch")
+        keys = [(s.attrs["task_id"], s.attrs["attempt"]) for s in dispatches]
+        assert len(keys) == len(set(keys))
+        assert len(dispatches) == stats.tasks + stats.retries
+
+    def test_retried_task_span_appears_exactly_once_per_attempt(self, graph):
+        # Task 0 errors on its first attempt; the retry must produce a
+        # fresh dispatch+task span pair, and the failed attempt keeps
+        # its own error-status pair — no duplicates, no orphans.
+        tracer, _, stats = run_traced(
+            graph, fault_plan=FaultPlan(error={0: 1})
+        )
+        assert stats.retries == 1
+        task0 = [s for s in spans_by_name(tracer, "worker.task")
+                 if s.attrs["task_id"] == 0]
+        by_attempt = {s.attrs["attempt"]: s for s in task0}
+        assert sorted(by_attempt) == [0, 1]
+        assert len(task0) == 2  # exactly once per attempt
+        assert by_attempt[0].status == "error"
+        assert by_attempt[1].status == "ok"
+
+        dispatch0 = {s.attrs["attempt"]: s for s in
+                     spans_by_name(tracer, "exec.dispatch")
+                     if s.attrs["task_id"] == 0}
+        assert by_attempt[1].parent_id == dispatch0[1].span_id
+        assert by_attempt[0].parent_id == dispatch0[0].span_id
+        assert dispatch0[0].status == "error"
+        assert dispatch0[1].status == "ok"
+
+    def test_crashed_attempt_leaves_no_worker_span(self, graph):
+        # A crash (os._exit) can ship nothing back; its dispatch span
+        # closes with error status and the retry's spans arrive alone.
+        tracer, _, stats = run_traced(
+            graph, fault_plan=FaultPlan(crash={1: 1})
+        )
+        assert stats.crashes == 1
+        task1 = [s for s in spans_by_name(tracer, "worker.task")
+                 if s.attrs["task_id"] == 1]
+        assert len(task1) == 1
+        assert task1[0].attrs["attempt"] == 1
+        dispatch1 = [s for s in spans_by_name(tracer, "exec.dispatch")
+                     if s.attrs["task_id"] == 1]
+        assert {s.status for s in dispatch1} == {"error", "ok"}
+
+    def test_exec_run_span_wraps_the_pool(self, graph):
+        tracer, _, _ = run_traced(graph)
+        runs = spans_by_name(tracer, "exec.run")
+        assert len(runs) == 1
+        assert runs[0].attrs["backend"] == "process"
+
+    def test_untraced_run_ships_no_spans(self, graph):
+        with GroupExecutor(
+            graph,
+            IBFSConfig(group_size=8),
+            exec_config=ExecConfig(num_workers=2),
+        ) as executor:
+            executor.run(list(range(16)), store_depths=False)
+        assert tracing.get_tracer().finished == []
+
+
+@needs_shm
+class TestLastWords:
+    def test_error_last_words_carry_worker_traceback(self, graph):
+        _, _, stats = run_traced(graph, fault_plan=FaultPlan(error={0: 1}))
+        words = [w for w in stats.last_words if w["kind"] == "task_error"]
+        assert len(words) == 1
+        record = words[0]
+        assert record["task_id"] == 0
+        assert record["attempt"] == 0
+        assert "injected fault" in record["error"]
+        assert "Traceback" in record["traceback"]
+        assert "TraversalError" in record["traceback"]
+
+    def test_crash_last_words_report_exitcode(self, graph):
+        _, _, stats = run_traced(graph, fault_plan=FaultPlan(crash={1: 1}))
+        words = [w for w in stats.last_words if w["kind"] == "crash"]
+        assert len(words) == 1
+        assert words[0]["task_id"] == 1
+        assert "exitcode" in words[0]["error"]
+
+    def test_last_words_serialize_in_stats_dict(self, graph):
+        _, _, stats = run_traced(graph, fault_plan=FaultPlan(error={2: 1}))
+        payload = stats.to_dict()
+        assert payload["last_words"]
+        assert payload["last_words"][0]["kind"] == "task_error"
+
+    def test_fail_fast_error_embeds_worker_traceback(self, graph):
+        with GroupExecutor(
+            graph,
+            IBFSConfig(group_size=8),
+            exec_config=ExecConfig(
+                num_workers=2,
+                fault_plan=FaultPlan(error={0: 99}),
+                faults=FaultPolicy(fail_fast=True),
+            ),
+        ) as executor:
+            with pytest.raises(ExecutorError) as excinfo:
+                executor.run(list(range(16)), store_depths=False)
+        message = str(excinfo.value)
+        assert "injected fault" in message
+        assert "worker traceback" in message
+        assert "TraversalError" in message

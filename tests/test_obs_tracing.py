@@ -1,0 +1,185 @@
+"""Span tracing: explicit clocks, nesting, propagation, ingestion."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import tracing
+from repro.obs.tracing import Span, Tracer
+
+
+class FakeClock:
+    """Deterministic monotonic clock advancing 1s per tick."""
+
+    def __init__(self, start: float = 100.0, step: float = 1.0) -> None:
+        self.t = start
+        self.step = step
+
+    def __call__(self) -> float:
+        now = self.t
+        self.t += self.step
+        return now
+
+
+@pytest.fixture(autouse=True)
+def _isolate_module_tracer():
+    yield
+    tracing.set_tracer(None)
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(process="t", clock=FakeClock(), enabled=True)
+
+
+class TestSpanLifecycle:
+    def test_span_timings_come_from_the_clock(self, tracer):
+        with tracer.span("work") as span:
+            pass
+        assert span.start == 100.0
+        assert span.end == 101.0
+        assert span.duration == 1.0
+        assert span.status == "ok"
+
+    def test_ids_are_deterministic(self, tracer):
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        ids = [s.span_id for s in tracer.finished]
+        assert ids == ["t-1", "t-2"]
+        assert all(s.trace_id == "trace-t" for s in tracer.finished)
+
+    def test_nesting_sets_parent(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # Inner finishes first.
+        assert [s.name for s in tracer.finished] == ["inner", "outer"]
+
+    def test_exception_marks_error_and_propagates(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("boom") as span:
+                raise ValueError("no")
+        assert span.status == "error"
+        assert span.end is not None
+
+    def test_attrs_captured(self, tracer):
+        with tracer.span("work", depth=3, mode="bitwise") as span:
+            pass
+        assert span.attrs == {"depth": 3, "mode": "bitwise"}
+
+    def test_duration_zero_while_open(self, tracer):
+        span = tracer.start_span("open")
+        assert span.duration == 0.0
+        tracer.finish_span(span)
+        assert span.duration > 0.0
+
+
+class TestDetachedAndExplicitParents:
+    def test_detached_spans_overlap_without_nesting(self, tracer):
+        a = tracer.start_span("dispatch", detached=True, task_id=0)
+        b = tracer.start_span("dispatch", detached=True, task_id=1)
+        # Neither is on the stack, so a regular span has no parent.
+        with tracer.span("other") as other:
+            pass
+        assert other.parent_id is None
+        tracer.finish_span(b, status="ok")
+        tracer.finish_span(a, status="error")
+        by_name = {s.attrs.get("task_id"): s for s in tracer.finished
+                   if s.name == "dispatch"}
+        assert by_name[0].status == "error"
+        assert by_name[1].status == "ok"
+
+    def test_explicit_parent_overrides_stack(self, tracer):
+        foreign = ("trace-other", "remote-7")
+        with tracer.span("outer"):
+            with tracer.span("child", parent=foreign) as child:
+                pass
+        assert child.trace_id == "trace-other"
+        assert child.parent_id == "remote-7"
+
+    def test_current_context_is_innermost(self, tracer):
+        assert tracer.current_context() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_context() == outer.context
+            with tracer.span("inner") as inner:
+                assert tracer.current_context() == (tracer.trace_id,
+                                                    inner.span_id)
+
+    def test_out_of_order_close_pops_descendants(self, tracer):
+        outer = tracer.start_span("outer")
+        tracer.start_span("inner")
+        tracer.finish_span(outer)
+        assert tracer.current_context() is None
+
+
+class TestIngestAndExport:
+    def test_roundtrip_through_dicts(self, tracer):
+        with tracer.span("work", depth=1):
+            pass
+        record = tracer.export_dicts()[0]
+        clone = Span.from_dict(record)
+        assert clone.to_dict() == record
+
+    def test_from_dict_rejects_non_spans(self):
+        with pytest.raises(ObservabilityError):
+            Span.from_dict({"kind": "metric", "name": "x"})
+
+    def test_ingest_merges_worker_spans(self, tracer):
+        worker = Tracer(process="worker-0", clock=FakeClock(5.0),
+                        trace_id=tracer.trace_id)
+        with tracer.span("dispatch") as dispatch:
+            ctx = dispatch.context
+        with worker.span("task", parent=ctx):
+            pass
+        shipped = [s.to_dict() for s in worker.drain()]
+        tracer.ingest(shipped)
+        task = [s for s in tracer.finished if s.name == "task"][0]
+        assert task.parent_id == dispatch.span_id
+        assert task.trace_id == tracer.trace_id
+        assert task.process == "worker-0"
+
+    def test_drain_empties_buffer(self, tracer):
+        with tracer.span("a"):
+            pass
+        assert len(tracer.drain()) == 1
+        assert tracer.finished == []
+        assert tracer.export_dicts() == []
+
+    def test_id_prefix_keeps_process_tag(self):
+        t = Tracer(process="worker-0", id_prefix="worker-0.123")
+        with t.span("task") as span:
+            pass
+        assert span.span_id == "worker-0.123-1"
+        assert span.process == "worker-0"
+
+
+class TestModuleTracer:
+    def test_default_is_disabled(self):
+        tracer = tracing.get_tracer()
+        assert not tracer.enabled
+        with tracer.span("ignored") as span:
+            assert span is None
+        assert tracer.start_span("ignored") is None
+        assert tracer.finished == []
+
+    def test_configure_installs_enabled_tracer(self):
+        tracer = tracing.configure(process="cli", clock=FakeClock())
+        assert tracing.get_tracer() is tracer
+        assert tracing.tracing_enabled()
+        with tracer.span("work"):
+            pass
+        assert len(tracer.finished) == 1
+
+    def test_set_tracer_none_restores_disabled(self):
+        tracing.configure(process="cli")
+        tracing.set_tracer(None)
+        assert not tracing.tracing_enabled()
+
+    def test_disabled_ingest_is_a_noop(self):
+        tracer = tracing.get_tracer()
+        assert tracer.ingest([{"kind": "span", "name": "x",
+                               "trace_id": "t", "span_id": "s",
+                               "parent_id": None, "start": 0.0}]) == []

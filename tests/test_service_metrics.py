@@ -75,3 +75,34 @@ class TestRegistrySnapshots:
         assert stats["p50"] == pytest.approx(5e-6)
         assert stats["max"] == pytest.approx(9e-6)
         assert stats["mean"] == pytest.approx(5e-6)
+
+    def test_histogram_and_reservoir_agree(self):
+        # Completions land in both the plain latency log and the obs
+        # histogram; the histogram is the percentile source of truth.
+        registry = self.make_registry()
+        assert registry.latency_histogram.samples == registry.latencies
+        assert registry.latency_histogram.count == registry.completed
+        stats = registry.latency_percentiles()
+        assert stats["p99"] == registry.latency_histogram.quantile(99.0)
+
+
+class TestHubPublish:
+    def test_publish_exports_totals_and_latency_histogram(self):
+        from repro.obs.metrics import MetricsHub
+
+        registry = TestRegistrySnapshots().make_registry()
+        hub = MetricsHub()
+        registry.publish(hub)
+        assert hub.get("serving_requests_completed").value == 5.0
+        assert hub.get("serving_cache_hits").value == 1.0
+        assert hub.get("serving_latency_seconds") is registry.latency_histogram
+
+    def test_publish_is_idempotent(self):
+        from repro.obs.metrics import MetricsHub
+
+        registry = TestRegistrySnapshots().make_registry()
+        hub = MetricsHub()
+        registry.publish(hub)
+        registry.record_completion(2e-6, cached=False)
+        registry.publish(hub)  # refresh, not re-register
+        assert hub.get("serving_requests_completed").value == 6.0

@@ -4,13 +4,16 @@ import json
 
 import pytest
 
+from repro.errors import SimulationError, TraceSchemaError
 from repro.graph.generators import kronecker
 from repro.gpusim.device import Device
 from repro.gpusim.trace import (
     TRACE_FIELDS,
+    level_to_row,
     record_to_json,
     record_to_rows,
     summarize_record,
+    validate_rows,
 )
 from repro.bfs.single import SingleBFS
 
@@ -46,6 +49,56 @@ def test_json_round_trips(run):
         == record.counters.global_load_transactions
     )
     assert payload["counters"]["levels"] == record.counters.levels
+
+
+def test_trace_fields_match_level_to_row_exactly(run):
+    # TRACE_FIELDS is the declared schema; level_to_row is the
+    # implementation.  They must agree key-for-key (and in order, since
+    # TRACE_FIELDS doubles as the column order for tabular exports).
+    record, device = run
+    row = level_to_row(record.levels[0], device.cost)
+    assert tuple(row) == TRACE_FIELDS
+
+
+def test_validate_rows_accepts_real_rows(run):
+    record, device = run
+    rows = record_to_rows(record, device.cost)
+    assert validate_rows(rows) is rows
+
+
+def test_unknown_field_fails_closed(run):
+    record, device = run
+    rows = record_to_rows(record, device.cost)
+    rows[1]["warp_divergence"] = 7
+    with pytest.raises(TraceSchemaError, match="warp_divergence"):
+        validate_rows(rows)
+    assert issubclass(TraceSchemaError, SimulationError)
+
+
+def test_missing_field_fails_closed(run):
+    record, device = run
+    rows = record_to_rows(record, device.cost)
+    del rows[0]["atomics"]
+    with pytest.raises(TraceSchemaError, match="atomics"):
+        validate_rows(rows)
+
+
+def test_record_to_json_validates(run, monkeypatch):
+    # record_to_json must refuse to serialize drifted rows rather than
+    # silently shipping an undeclared schema.
+    import repro.gpusim.trace as trace_mod
+
+    record, device = run
+    real = trace_mod.level_to_row
+
+    def drifted(level, cost=None):
+        row = real(level, cost)
+        row["surprise"] = 1
+        return row
+
+    monkeypatch.setattr(trace_mod, "level_to_row", drifted)
+    with pytest.raises(TraceSchemaError, match="surprise"):
+        record_to_json(record, device.cost)
 
 
 def test_summary_totals_consistent(run):
