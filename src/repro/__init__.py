@@ -11,6 +11,9 @@ deterministic GPU execution-model simulator:
   sequential and naive concurrent baselines;
 * :mod:`repro.core` — iBFS itself: joint traversal, GroupBy, and the
   bitwise status array with bottom-up early termination;
+* :mod:`repro.plan` — the unified per-level traversal planner: typed
+  per-level decisions from pluggable policies (heuristic, fixed,
+  adaptive), recorded as replayable :class:`~repro.plan.RunPlan`\\ s;
 * :mod:`repro.baselines` — MS-BFS, B40C, SpMM-BC, CPU-iBFS comparators;
 * :mod:`repro.apps` — reachability indexing, closeness and betweenness
   centrality on top of concurrent BFS;
@@ -92,6 +95,16 @@ from repro.core import (
     group_sources,
     random_groups,
 )
+from repro.plan import (
+    AdaptivePolicy,
+    FixedPolicy,
+    HeuristicPolicy,
+    LevelDecision,
+    POLICY_NAMES,
+    RecordedPolicy,
+    RunPlan,
+    make_policy,
+)
 from repro.baselines import MSBFS, B40C, SpMMBC, CPUiBFS
 from repro.service import (
     BFSServer,
@@ -172,6 +185,14 @@ __all__ = [
     "GroupByConfig",
     "group_sources",
     "random_groups",
+    "AdaptivePolicy",
+    "FixedPolicy",
+    "HeuristicPolicy",
+    "LevelDecision",
+    "POLICY_NAMES",
+    "RecordedPolicy",
+    "RunPlan",
+    "make_policy",
     "MSBFS",
     "B40C",
     "SpMMBC",

@@ -3,18 +3,20 @@
 "B40C runs a single BFS instance on GPUs" (section 8.6) and is
 top-down-only (no direction optimization), which is why the paper's
 figure 22 and table 1 show it far behind even the sequential
-Enterprise-style engine on power-law graphs.
+Enterprise-style engine on power-law graphs.  Under the planner it is
+the top-down-only :class:`~repro.plan.policy.FixedPolicy` preset over
+the sequential single-source engine.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.graph.csr import CSRGraph
-from repro.gpusim.device import Device
-from repro.bfs.direction import DirectionPolicy
 from repro.bfs.sequential import SequentialConcurrentBFS
 from repro.core.result import ConcurrentResult
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import Device
+from repro.plan.presets import b40c_policy
 
 
 class B40C:
@@ -27,8 +29,9 @@ class B40C:
         graph: CSRGraph,
         device: Optional[Device] = None,
     ) -> None:
-        policy = DirectionPolicy(allow_bottom_up=False)
-        self._engine = SequentialConcurrentBFS(graph, device, policy)
+        self._engine = SequentialConcurrentBFS(
+            graph, device, planner=b40c_policy()
+        )
         self.graph = graph
 
     def run(

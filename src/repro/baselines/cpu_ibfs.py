@@ -7,19 +7,20 @@ the multi-thread bitwise operation."  The algorithm is identical to the
 GPU engine (same depths, same inspections); only the device pricing
 changes — fewer hardware threads, lower bandwidth, expensive atomics,
 and per-thread context-switch overhead, which the paper reports as a
-~2x deficit versus the GPU version.
+~2x deficit versus the GPU version.  Under the planner it runs the
+full heuristic stack (:func:`repro.plan.presets.cpu_ibfs_policy`).
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.core.engine import IBFS, IBFSConfig
+from repro.core.result import ConcurrentResult
 from repro.graph.csr import CSRGraph
 from repro.gpusim.config import XEON_CPU
 from repro.gpusim.device import Device
-from repro.bfs.direction import DirectionPolicy
-from repro.core.engine import IBFS, IBFSConfig
-from repro.core.result import ConcurrentResult
+from repro.plan.policy import DirectionPolicy, Policy
 
 
 class CPUiBFS:
@@ -32,6 +33,7 @@ class CPUiBFS:
         graph: CSRGraph,
         config: Optional[IBFSConfig] = None,
         policy: Optional[DirectionPolicy] = None,
+        planner: Optional[Policy] = None,
     ) -> None:
         self.graph = graph
         self._engine = IBFS(
@@ -39,6 +41,7 @@ class CPUiBFS:
             config or IBFSConfig(group_size=64),
             device=Device(XEON_CPU),
             policy=policy,
+            planner=planner,
         )
 
     def run(

@@ -9,25 +9,26 @@ Faithful to how the iBFS paper characterizes it (sections 1, 6, 9):
   needed, but only ``N`` threads are ever active;
 * instances are grouped randomly (no GroupBy).
 
-Implementation-wise this reuses :class:`~repro.core.bitwise.BitwiseTraversal`
-with ``early_termination=False``, ``reset_per_level=True`` and
-``thread_per_instance=True`` on the Xeon device preset.
+Under the planner this baseline is a policy preset
+(:func:`repro.plan.presets.msbfs_policy` — the direction heuristic with
+early termination off) over :class:`~repro.core.bitwise.BitwiseTraversal`
+with the engine-level MS-BFS switches (``reset_per_level``,
+``thread_per_instance``) on the Xeon device preset, run through the
+shared random-groups loop.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
-import numpy as np
-
+from repro.baselines.common import run_random_groups
+from repro.core.bitwise import BitwiseTraversal
+from repro.core.result import ConcurrentResult
 from repro.graph.csr import CSRGraph
 from repro.gpusim.config import XEON_CPU
-from repro.gpusim.counters import ProfilerCounters
 from repro.gpusim.device import Device
-from repro.bfs.direction import DirectionPolicy
-from repro.core.bitwise import BitwiseTraversal
-from repro.core.groupby import random_groups
-from repro.core.result import ConcurrentResult, GroupStats
+from repro.plan.policy import DirectionPolicy, HeuristicPolicy
+from repro.plan.presets import msbfs_policy
 
 
 class MSBFS:
@@ -47,6 +48,12 @@ class MSBFS:
         self.group_size = group_size
         self.device = device or Device(XEON_CPU)
         self.seed = seed
+        if policy is None:
+            planner = msbfs_policy()
+        else:
+            planner = HeuristicPolicy.from_direction_policy(
+                policy, early_termination=False
+            )
         self._engine = BitwiseTraversal(
             graph,
             self.device,
@@ -54,6 +61,7 @@ class MSBFS:
             early_termination=False,
             reset_per_level=True,
             thread_per_instance=True,
+            planner=planner,
         )
 
     def run(
@@ -63,29 +71,13 @@ class MSBFS:
         store_depths: bool = True,
     ) -> ConcurrentResult:
         """Traverse from all sources in randomly formed groups."""
-        sources = [int(s) for s in sources]
-        groups = random_groups(sources, self.group_size, self.seed)
-        counters = ProfilerCounters()
-        group_stats: List[GroupStats] = []
-        depth_rows = {} if store_depths else None
-        for group in groups:
-            depths, record, stats = self._engine.run_group(
-                group, max_depth=max_depth
-            )
-            counters.merge(record.counters)
-            group_stats.append(stats)
-            if depth_rows is not None:
-                for row, source in enumerate(group):
-                    depth_rows[source] = depths[row]
-        matrix = None
-        if depth_rows is not None:
-            matrix = np.stack([depth_rows[s] for s in sources])
-        return ConcurrentResult(
-            engine=self.name,
-            sources=sources,
-            seconds=sum(g.seconds for g in group_stats),
-            counters=counters,
-            depths=matrix,
-            num_vertices=self.graph.num_vertices,
-            groups=group_stats,
+        return run_random_groups(
+            self._engine,
+            self.name,
+            self.graph.num_vertices,
+            sources,
+            self.group_size,
+            self.seed,
+            max_depth=max_depth,
+            store_depths=store_depths,
         )

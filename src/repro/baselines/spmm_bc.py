@@ -2,25 +2,24 @@
 
 The regularized-centrality system of Sariyuce et al. [27] "also extends
 the GPU-based BFS to concurrent BFS, but it does not support bottom-up
-BFS" (section 9).  We model it as the bitwise concurrent engine with
-bottom-up disabled and random grouping: it enjoys joint execution of
-many instances (hence beating B40C) but pays full top-down inspection
-cost at the dense middle levels where iBFS switches to bottom-up.
+BFS" (section 9).  Under the planner this is nothing but a policy
+preset — :func:`repro.plan.presets.spmm_bc_policy`, a top-down-only
+:class:`~repro.plan.policy.FixedPolicy` — over the bitwise concurrent
+engine with random grouping: it enjoys joint execution of many
+instances (hence beating B40C) but pays full top-down inspection cost
+at the dense middle levels where iBFS switches to bottom-up.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
-import numpy as np
-
-from repro.graph.csr import CSRGraph
-from repro.gpusim.counters import ProfilerCounters
-from repro.gpusim.device import Device
-from repro.bfs.direction import DirectionPolicy
+from repro.baselines.common import run_random_groups
 from repro.core.bitwise import BitwiseTraversal
-from repro.core.groupby import random_groups
-from repro.core.result import ConcurrentResult, GroupStats
+from repro.core.result import ConcurrentResult
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import Device
+from repro.plan.presets import spmm_bc_policy
 
 
 class SpMMBC:
@@ -39,8 +38,9 @@ class SpMMBC:
         self.group_size = group_size
         self.device = device or Device()
         self.seed = seed
-        policy = DirectionPolicy(allow_bottom_up=False)
-        self._engine = BitwiseTraversal(graph, self.device, policy)
+        self._engine = BitwiseTraversal(
+            graph, self.device, planner=spmm_bc_policy()
+        )
 
     def run(
         self,
@@ -49,29 +49,13 @@ class SpMMBC:
         store_depths: bool = True,
     ) -> ConcurrentResult:
         """Traverse from all sources in randomly formed groups."""
-        sources = [int(s) for s in sources]
-        groups = random_groups(sources, self.group_size, self.seed)
-        counters = ProfilerCounters()
-        group_stats: List[GroupStats] = []
-        depth_rows = {} if store_depths else None
-        for group in groups:
-            depths, record, stats = self._engine.run_group(
-                group, max_depth=max_depth
-            )
-            counters.merge(record.counters)
-            group_stats.append(stats)
-            if depth_rows is not None:
-                for row, source in enumerate(group):
-                    depth_rows[source] = depths[row]
-        matrix = None
-        if depth_rows is not None:
-            matrix = np.stack([depth_rows[s] for s in sources])
-        return ConcurrentResult(
-            engine=self.name,
-            sources=sources,
-            seconds=sum(g.seconds for g in group_stats),
-            counters=counters,
-            depths=matrix,
-            num_vertices=self.graph.num_vertices,
-            groups=group_stats,
+        return run_random_groups(
+            self._engine,
+            self.name,
+            self.graph.num_vertices,
+            sources,
+            self.group_size,
+            self.seed,
+            max_depth=max_depth,
+            store_depths=store_depths,
         )

@@ -8,7 +8,10 @@ measures first — running all instances *sequentially* and running them
 """
 
 from repro.bfs.reference import reference_bfs, reference_bfs_multi
-from repro.bfs.direction import DirectionPolicy, Direction
+# Canonical home of the direction machinery is repro.plan; importing
+# from there keeps the repro.bfs.direction deprecation shim quiet.
+from repro.plan.policy import DirectionPolicy
+from repro.plan.types import Direction
 from repro.bfs.single import SingleBFS, SingleResult
 from repro.bfs.sequential import SequentialConcurrentBFS
 from repro.bfs.naive import NaiveConcurrentBFS

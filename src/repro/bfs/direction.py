@@ -1,71 +1,23 @@
-"""Direction-optimizing heuristic (Beamer-style, as used by Enterprise).
+"""Deprecated shim — the direction machinery moved to :mod:`repro.plan`.
 
-"BFS typically starts the traversal in top-down and switches to
-bottom-up in a later stage" (section 2).  The standard switch rule
-compares the work remaining in each direction: go bottom-up when the
-frontier's out-edge count exceeds ``1/alpha`` of the unexplored edge
-count, and return to top-down when the frontier shrinks below
-``|V| / beta`` vertices.
+``Direction`` and ``DirectionPolicy`` are re-exported unchanged (the
+canonical definitions now live in :mod:`repro.plan.types` and
+:mod:`repro.plan.policy`, where ``DirectionPolicy`` gained alpha/beta
+validation at construction).  Import from ``repro.plan`` going forward.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass
+import warnings
 
+from repro.plan.policy import DirectionPolicy
+from repro.plan.types import Direction
 
-class Direction(enum.Enum):
-    """Traversal direction of one BFS level."""
+warnings.warn(
+    "repro.bfs.direction is deprecated; import Direction and "
+    "DirectionPolicy from repro.plan instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-    TOP_DOWN = "td"
-    BOTTOM_UP = "bu"
-
-
-@dataclass
-class DirectionPolicy:
-    """Per-instance direction state machine.
-
-    Parameters
-    ----------
-    alpha:
-        Top-down -> bottom-up threshold (Beamer's default 14).
-    beta:
-        Bottom-up -> top-down threshold (Beamer's default 24).
-    allow_bottom_up:
-        Disable to model top-down-only systems (B40C, SpMM-BC).
-    sticky:
-        When true (the paper's GPU setting) an instance that switched to
-        bottom-up never switches back; the bitwise status array requires
-        monotone visited bits, which a return to top-down would not
-        break, but Enterprise-style GPU BFS stays bottom-up once the
-        frontier covers the graph's dense core.
-    """
-
-    alpha: float = 14.0
-    beta: float = 24.0
-    allow_bottom_up: bool = True
-    sticky: bool = True
-
-    def initial(self) -> Direction:
-        return Direction.TOP_DOWN
-
-    def next_direction(
-        self,
-        current: Direction,
-        frontier_edges: int,
-        unexplored_edges: int,
-        frontier_vertices: int,
-        num_vertices: int,
-    ) -> Direction:
-        """Direction for the next level given this level's outcome."""
-        if not self.allow_bottom_up:
-            return Direction.TOP_DOWN
-        if current is Direction.TOP_DOWN:
-            if frontier_edges * self.alpha > unexplored_edges and frontier_edges > 0:
-                return Direction.BOTTOM_UP
-            return Direction.TOP_DOWN
-        if self.sticky:
-            return Direction.BOTTOM_UP
-        if frontier_vertices * self.beta < num_vertices:
-            return Direction.TOP_DOWN
-        return Direction.BOTTOM_UP
+__all__ = ["Direction", "DirectionPolicy"]

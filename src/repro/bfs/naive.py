@@ -21,9 +21,9 @@ import numpy as np
 from repro.graph.csr import CSRGraph
 from repro.gpusim.counters import ProfilerCounters
 from repro.gpusim.device import Device
-from repro.bfs.direction import DirectionPolicy
 from repro.bfs.single import SingleBFS
 from repro.core.result import ConcurrentResult
+from repro.plan.policy import DirectionPolicy, Policy
 
 
 class NaiveConcurrentBFS:
@@ -36,10 +36,11 @@ class NaiveConcurrentBFS:
         graph: CSRGraph,
         device: Optional[Device] = None,
         policy: Optional[DirectionPolicy] = None,
+        planner: Optional[Policy] = None,
     ) -> None:
         self.graph = graph
         self.device = device or Device()
-        self.engine = SingleBFS(graph, self.device, policy)
+        self.engine = SingleBFS(graph, self.device, policy, planner=planner)
 
     def run(
         self,

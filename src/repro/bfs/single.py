@@ -23,8 +23,14 @@ from repro.errors import TraversalError
 from repro.graph.csr import CSRGraph, VERTEX_DTYPE
 from repro.gpusim.counters import LevelRecord, RunRecord
 from repro.gpusim.device import Device
-from repro.bfs.direction import Direction, DirectionPolicy
 from repro.kernels import bucketed_hit_scan, round_major_probes
+from repro.plan.policy import (
+    DirectionPolicy,
+    HeuristicPolicy,
+    Policy,
+    RecordedPolicy,
+)
+from repro.plan.types import Direction, LevelDecision, LevelStats, RunPlan
 from repro.util import gather_neighbors
 
 #: Bytes of one per-vertex status entry (depth byte in the status array).
@@ -44,6 +50,8 @@ class SingleResult:
     depths: np.ndarray
     record: RunRecord
     seconds: float
+    #: Decision log of the traversal (one-instance ``RunPlan``).
+    plan: Optional[RunPlan] = None
 
     @property
     def edges_traversed(self) -> int:
@@ -79,57 +87,93 @@ class SingleBFS:
         graph: CSRGraph,
         device: Optional[Device] = None,
         policy: Optional[DirectionPolicy] = None,
+        planner: Optional[Policy] = None,
     ) -> None:
         self.graph = graph
         self.device = device or Device()
         self.policy = policy or DirectionPolicy()
-        self._reverse = graph.reverse() if self.policy.allow_bottom_up else None
+        if planner is None:
+            planner = HeuristicPolicy.from_direction_policy(self.policy)
+        self.planner = planner
+        self._reverse = graph.reverse() if planner.allow_bottom_up else None
 
-    def run(self, source: int, max_depth: Optional[int] = None) -> SingleResult:
-        """Traverse from ``source`` and return depths plus cost records."""
+    def run(
+        self,
+        source: int,
+        max_depth: Optional[int] = None,
+        plan: Optional[RunPlan] = None,
+    ) -> SingleResult:
+        """Traverse from ``source`` and return depths plus cost records.
+
+        With ``plan=`` the recorded decisions replay verbatim — the
+        per-level frontier statistics that feed the direction heuristic
+        are never computed.
+        """
         n = self.graph.num_vertices
         if not 0 <= source < n:
             raise TraversalError(f"source {source} out of range [0, {n})")
+        if plan is not None:
+            planner: Policy = RecordedPolicy(plan)
+        else:
+            planner = self.planner
+        total_edges = self.graph.num_edges
+        session = planner.session(1, n, total_edges)
+        wants_stats = session.wants_stats
+        run_plan = RunPlan(policy=planner.name, engine="single", group_size=1)
+
         depths = np.full(n, UNVISITED, dtype=np.int32)
         depths[source] = 0
         record = RunRecord()
-        direction = self.policy.initial()
-        total_edges = self.graph.num_edges
         frontier = np.asarray([source], dtype=VERTEX_DTYPE)
+        decision: Optional[LevelDecision] = None
+        stats_prev: Optional[LevelStats] = None
         level = 0
         while True:
             if max_depth is not None and level >= max_depth:
                 break
+            if decision is None:
+                decision = session.initial()
+            else:
+                decision = session.next(stats_prev)
+            direction = decision.directions[0]
             if direction is Direction.TOP_DOWN:
                 if frontier.size == 0:
                     break
                 new_frontier = self._top_down_level(depths, frontier, level, record)
+                run_plan.append(decision)
             else:
+                if self._reverse is None:
+                    self._reverse = self.graph.reverse()
                 unvisited = np.flatnonzero(depths == UNVISITED).astype(VERTEX_DTYPE)
                 if unvisited.size == 0:
                     break
                 new_frontier = self._bottom_up_level(depths, unvisited, level, record)
+                run_plan.append(decision)
                 if new_frontier.size == 0:
                     break
-            frontier_edges = int(self.graph.out_degrees()[new_frontier].sum())
-            explored = depths >= 0
-            unexplored_edges = total_edges - int(
-                self.graph.out_degrees()[explored].sum()
-            )
-            direction = self.policy.next_direction(
-                direction,
-                frontier_edges,
-                unexplored_edges,
-                int(new_frontier.size),
-                n,
-            )
+            if wants_stats:
+                frontier_edges = int(self.graph.out_degrees()[new_frontier].sum())
+                explored = depths >= 0
+                unexplored_edges = total_edges - int(
+                    self.graph.out_degrees()[explored].sum()
+                )
+                stats_prev = LevelStats(
+                    level=level,
+                    num_vertices=n,
+                    total_edges=total_edges,
+                    frontier_vertices=(int(new_frontier.size),),
+                    frontier_edges=(frontier_edges,),
+                    unexplored_edges=(unexplored_edges,),
+                    visited_vertices=(int(np.count_nonzero(explored)),),
+                    active=(True,),
+                )
             frontier = new_frontier
             level += 1
             if frontier.size == 0:
                 break
         record.counters.kernel_launches += 1
         seconds = self.device.cost.kernel_time(record.levels)
-        return SingleResult(source, depths, record, seconds)
+        return SingleResult(source, depths, record, seconds, plan=run_plan)
 
     # ------------------------------------------------------------------
     # Top-down: expand frontiers, inspect unvisited neighbors

@@ -7,6 +7,8 @@ run:
 * ``info`` — print structural statistics of a stored graph;
 * ``run`` — concurrent BFS with a chosen engine, printing TEPS and
   profiler counters;
+* ``plan`` — record the per-level traversal plan of one group, inspect
+  it, export it as JSON, and replay it bit-identically;
 * ``compare`` — the figure-15 engine ladder on one graph;
 * ``groups`` — show the GroupBy partition for a source set;
 * ``serve`` — drive the online serving layer with a closed-loop
@@ -46,6 +48,7 @@ from repro.graph import (
 )
 from repro.graph.properties import degree_stats, gini_coefficient
 from repro.core.groupby import GroupByConfig, group_sources
+from repro.plan import POLICY_NAMES, make_policy
 
 
 def _load_graph(spec: str) -> CSRGraph:
@@ -103,6 +106,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         mode=args.mode,
         groupby=not args.no_groupby,
     )
+    planner = make_policy(args.policy) if args.policy else None
     tracer = None
     if args.trace:
         from repro import obs
@@ -122,12 +126,14 @@ def cmd_run(args: argparse.Namespace) -> int:
                 faults=FaultPolicy(fail_fast=args.fail_fast),
             )
             with GroupExecutor(
-                graph, config, exec_config=exec_config
+                graph, config, exec_config=exec_config, planner=planner
             ) as executor:
                 result = executor.run(sources, store_depths=False)
                 exec_stats = executor.last_stats
         else:
-            result = IBFS(graph, config).run(sources, store_depths=False)
+            result = IBFS(graph, config, planner=planner).run(
+                sources, store_depths=False
+            )
     finally:
         if tracer is not None:
             if root is not None:
@@ -154,6 +160,62 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"steals/retries    : {exec_stats.steals}/{exec_stats.retries}")
         if exec_stats.degraded:
             print("warning           : pool lost; degraded to in-process")
+    return 0
+
+
+def _summarize_directions(decision) -> str:
+    td = decision.top_down
+    bu = decision.bottom_up
+    parts = []
+    if td:
+        parts.append(f"td:{td}")
+    if bu:
+        parts.append(f"bu:{bu}")
+    return " ".join(parts) or "-"
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    from repro.plan import RunPlan
+
+    graph = _load_graph(args.graph)
+    count = min(args.sources, args.group_size)
+    group = _pick_sources(graph, count, args.seed)
+    config = IBFSConfig(group_size=args.group_size, mode=args.mode)
+    engine = IBFS(graph, config, planner=make_policy(args.policy))
+
+    replay_plan = None
+    if args.replay:
+        with open(args.replay) as fh:
+            replay_plan = RunPlan.from_json(fh.read())
+
+    result = engine.run_group(group, max_depth=args.max_depth, plan=replay_plan)
+    plan = result.groups[0].plan
+
+    print(f"graph       : {args.graph}")
+    print(f"group       : {len(group)} sources (seed {args.seed})")
+    print(f"engine      : {plan.engine}")
+    print(f"policy      : {plan.policy}"
+          + ("  (replayed)" if replay_plan is not None else ""))
+    print(f"levels      : {len(plan)}")
+    print(f"{'level':<7}{'directions':<16}{'kernel':<9}{'vw':<4}"
+          f"{'snapshot':<10}{'early-term':<10}")
+    for level, decision in enumerate(plan):
+        print(
+            f"{level:<7}{_summarize_directions(decision):<16}"
+            f"{decision.kernel:<9}{decision.vector_width:<4}"
+            f"{decision.snapshot:<10}"
+            f"{'on' if decision.early_termination else 'off':<10}"
+        )
+    print(f"simulated runtime : {result.seconds * 1e3:.3f} ms")
+    if replay_plan is not None:
+        matches = plan == replay_plan
+        print(f"replay plan match : {'ok' if matches else 'DIVERGED'}")
+        if not matches:
+            return 1
+    if args.export:
+        with open(args.export, "w") as fh:
+            fh.write(plan.to_json())
+        print(f"exported plan     : {args.export}")
     return 0
 
 
@@ -282,6 +344,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     graph = _load_graph(args.graph)
     serving = _serving_config(args)
+    planner = make_policy(args.policy) if args.policy else None
     executor = None
     if getattr(args, "workers", 0) > 0:
         from repro.exec import ExecConfig, GroupExecutor
@@ -292,9 +355,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
             exec_config=ExecConfig(
                 num_workers=args.workers, scheduler=args.scheduler
             ),
+            planner=planner,
         )
     try:
-        server = BFSServer(graph, serving, executor=executor)
+        server = BFSServer(
+            graph, serving, executor=executor, planner=planner
+        )
         result = run_closed_loop(server, _workload_config(args))
     finally:
         if executor is not None:
@@ -321,8 +387,9 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
     from repro.service import compare_serving
 
     graph = _load_graph(args.graph)
+    planner = make_policy(args.policy) if args.policy else None
     comparison = compare_serving(
-        graph, _workload_config(args), _serving_config(args)
+        graph, _workload_config(args), _serving_config(args), planner=planner
     )
     _print_load_result("micro-batched serving", comparison["batched"])
     _print_load_result("naive serving (one request, one traversal)",
@@ -401,7 +468,31 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace", default=None, metavar="PATH",
                      help="enable tracing + profiling and write the "
                           "span/metric trace as JSON lines to PATH")
+    run.add_argument("--policy", choices=POLICY_NAMES, default=None,
+                     help="traversal planner policy (default: the "
+                          "engine's heuristic policy)")
     run.set_defaults(func=cmd_run)
+
+    plan = sub.add_parser(
+        "plan",
+        help="record, inspect, export, and replay a traversal plan",
+    )
+    plan.add_argument("graph")
+    plan.add_argument("--sources", type=int, default=32,
+                      help="sources in the (single) planned group")
+    plan.add_argument("--group-size", type=int, default=32)
+    plan.add_argument("--mode", choices=("bitwise", "joint"),
+                      default="bitwise")
+    plan.add_argument("--policy", choices=POLICY_NAMES, default="heuristic")
+    plan.add_argument("--seed", type=int, default=42)
+    plan.add_argument("--max-depth", type=int, default=None)
+    plan.add_argument("--export", default=None, metavar="PATH",
+                      help="write the recorded plan as JSON")
+    plan.add_argument("--replay", default=None, metavar="PATH",
+                      help="replay a previously exported plan (skips the "
+                           "planner heuristics) and verify it re-records "
+                           "identically")
+    plan.set_defaults(func=cmd_plan)
 
     cmp_ = sub.add_parser("compare", help="figure-15 style engine ladder")
     cmp_.add_argument("graph")
@@ -461,6 +552,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--devices", type=int, default=1)
         p.add_argument("--no-groupby", action="store_true",
                        help="form batches FIFO instead of by GroupBy rules")
+        p.add_argument("--policy", choices=POLICY_NAMES, default=None,
+                       help="traversal planner policy (default: the "
+                            "engine's heuristic policy)")
         p.add_argument("--seed", type=int, default=42)
 
     serve = sub.add_parser(

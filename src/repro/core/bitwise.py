@@ -17,6 +17,16 @@ the property MS-BFS forfeits by resetting its status array each level.
 ``reset_per_level`` switches so the MS-BFS baseline can reuse this
 engine with the paper's described differences.
 
+Per-level choices — direction per instance, bottom-up kernel variant,
+vector load width, workspace snapshot strategy, early termination —
+come from the planner (:mod:`repro.plan`): each executed level consumes
+exactly one :class:`~repro.plan.types.LevelDecision` from the policy's
+session, and the sequence is recorded as a
+:class:`~repro.plan.types.RunPlan` on the returned
+:class:`~repro.core.result.GroupStats`.  Passing ``plan=`` to
+:meth:`run_group` replays a recorded plan bit-identically, skipping the
+heuristic evaluation (the replay session never sees level statistics).
+
 Host-side execution runs on the :mod:`repro.kernels` primitives: the
 top-down scatter is a segmented reduction, ``BSA_k`` is kept as a
 dirty-row snapshot instead of a full copy, bottom-up scans are
@@ -36,12 +46,12 @@ from repro.errors import TraversalError
 from repro.graph.csr import CSRGraph, VERTEX_DTYPE
 from repro.gpusim.counters import LevelRecord, RunRecord
 from repro.gpusim.device import Device
-from repro.bfs.direction import Direction, DirectionPolicy
 from repro.obs import profile as obs_profile
 from repro.core.result import GroupStats
 from repro.core.sharing import SharingObserver
 from repro.core.status_array import combine_masks, instance_masks, lanes_for
 from repro.kernels import (
+    FullSnapshotWorkspace,
     LevelWorkspace,
     bucketed_or_scan,
     per_bit_counts,
@@ -51,6 +61,13 @@ from repro.kernels import (
     scatter_plan,
     unpack_lane_bits,
 )
+from repro.plan.policy import (
+    DirectionPolicy,
+    HeuristicPolicy,
+    Policy,
+    RecordedPolicy,
+)
+from repro.plan.types import Direction, LevelDecision, LevelStats, RunPlan
 from repro.util import gather_neighbors
 
 INSTRUCTIONS_PER_INSPECTION = 6
@@ -69,7 +86,11 @@ class BitwiseTraversal:
     device:
         Simulated execution target.
     policy:
-        Direction-switch policy shared by all instances.
+        Legacy direction-switch policy shared by all instances; wrapped
+        together with the ``early_termination`` / ``vector_width`` /
+        ``direction_mode`` knobs into an equivalent
+        :class:`~repro.plan.policy.HeuristicPolicy` when no ``planner``
+        is given.
     early_termination:
         Stop a bottom-up scan once every tracked bit of the frontier is
         set (iBFS); disable to model MS-BFS.
@@ -91,6 +112,12 @@ class BitwiseTraversal:
         aggregate frontier statistics and switch together — simpler
         kernels, but stragglers drag the group; the ablation benchmark
         quantifies the difference).  Depths are exact either way.
+    planner:
+        A :class:`~repro.plan.policy.Policy` that owns every per-level
+        decision.  When given, it overrides the legacy knobs above
+        (``reset_per_level`` and ``thread_per_instance`` stay engine
+        properties — they model a different machine, not a per-level
+        choice).
     """
 
     name = "bitwise"
@@ -105,6 +132,7 @@ class BitwiseTraversal:
         thread_per_instance: bool = False,
         vector_width: int = 1,
         direction_mode: str = "per-instance",
+        planner: Optional[Policy] = None,
     ) -> None:
         if vector_width not in (1, 2, 4):
             raise TraversalError(
@@ -124,22 +152,47 @@ class BitwiseTraversal:
         self.thread_per_instance = thread_per_instance
         self.vector_width = vector_width
         self.direction_mode = direction_mode
-        self._reverse = graph.reverse() if self.policy.allow_bottom_up else None
+        if planner is None:
+            planner = HeuristicPolicy.from_direction_policy(
+                self.policy,
+                direction_mode=direction_mode,
+                early_termination=early_termination,
+                vector_width=vector_width,
+            )
+        self.planner = planner
+        self._reverse = graph.reverse() if planner.allow_bottom_up else None
         #: Out-degree view, hoisted once per traversal object (the hot
         #: loops used to look it up several times per level).
         self._out_degrees = graph.out_degrees()
         self._workspace: Optional[LevelWorkspace] = None
+        self._workspace_full: Optional[FullSnapshotWorkspace] = None
+
+    # ------------------------------------------------------------------
+    def _get_workspace(self, n: int, lanes: int, strategy: str):
+        if strategy == "full":
+            ws = self._workspace_full
+            if ws is None or ws.num_vertices != n or ws.lanes != lanes:
+                ws = FullSnapshotWorkspace(n, lanes)
+                self._workspace_full = ws
+            return ws
+        ws = self._workspace
+        if ws is None or ws.num_vertices != n or ws.lanes != lanes:
+            ws = LevelWorkspace(n, lanes)
+            self._workspace = ws
+        return ws
 
     # ------------------------------------------------------------------
     def run_group(
         self,
         sources: Sequence[int],
         max_depth: Optional[int] = None,
+        plan: Optional[RunPlan] = None,
     ):
         """Traverse all sources jointly with the bitwise status array.
 
         Returns ``(depths, record, stats)`` like
-        :meth:`JointTraversal.run_group`.
+        :meth:`JointTraversal.run_group`.  With ``plan=`` the recorded
+        decisions replay verbatim and no heuristic runs.
         """
         sources = [int(s) for s in sources]
         n = self.graph.num_vertices
@@ -149,6 +202,17 @@ class BitwiseTraversal:
         for s in sources:
             if not 0 <= s < n:
                 raise TraversalError(f"source {s} out of range [0, {n})")
+
+        if plan is not None:
+            planner: Policy = RecordedPolicy(plan)
+        else:
+            planner = self.planner
+        total_edges = self.graph.num_edges
+        session = planner.session(group_size, n, total_edges)
+        wants_stats = session.wants_stats
+        run_plan = RunPlan(
+            policy=planner.name, engine=self.name, group_size=group_size
+        )
 
         lanes = lanes_for(group_size)
         masks = instance_masks(group_size)
@@ -165,19 +229,8 @@ class BitwiseTraversal:
             bsa[s] |= masks[j]
             depths_vm[s, j] = 0
 
-        workspace = self._workspace
-        if (
-            workspace is None
-            or workspace.num_vertices != n
-            or workspace.lanes != lanes
-        ):
-            workspace = LevelWorkspace(n, lanes)
-            self._workspace = workspace
-
-        directions = [self.policy.initial()] * group_size
         active = np.ones(group_size, dtype=bool)
         out_degrees = self._out_degrees
-        total_edges = self.graph.num_edges
         # Running per-instance visited-degree sum: every vertex joins the
         # frontier exactly once, so accumulating new-frontier degrees is
         # the dense "sum over depth >= 0" recomputed each level.
@@ -187,6 +240,9 @@ class BitwiseTraversal:
         # Current-frontier degree sum per instance (depth == level); at
         # level 0 the frontier is exactly the source.
         frontier_deg = visited_deg.copy()
+        # Cumulative visited-vertex count per instance (the adaptive
+        # cost model's unvisited estimate); the source is visited.
+        visited_count = np.ones(group_size, dtype=np.int64)
         # Current frontier as (rows, diff-words): row i of the frontier
         # gained exactly the instance bits set in diff[i] last level, so
         # depth[j, v] == level iff bit j of the row's word is set.  Each
@@ -205,6 +261,8 @@ class BitwiseTraversal:
         sharing_log = {"td": [], "bu": []}
         bu_inspections = np.zeros(group_size, dtype=np.int64)
 
+        decision: Optional[LevelDecision] = None
+        stats_prev: Optional[LevelStats] = None
         level = 0
         while active.any():
             if max_depth is not None and level >= max_depth:
@@ -215,6 +273,20 @@ class BitwiseTraversal:
                 depths_vm = depths_vm.astype(np.int16)
             elif level >= 32000 and depths_vm.dtype == np.int16:
                 depths_vm = depths_vm.astype(np.int32)
+            # One decision per executed level: the first comes from
+            # initial(), each next from the previous level's observed
+            # statistics (None under replay — nothing is recomputed).
+            if decision is None:
+                decision = session.initial()
+            else:
+                decision = session.next(stats_prev)
+            if decision.num_instances != group_size:
+                raise TraversalError(
+                    f"planner decided {decision.num_instances} instances "
+                    f"for a group of {group_size}"
+                )
+            run_plan.append(decision)
+            directions = decision.directions
             td_instances = [
                 j for j in range(group_size)
                 if active[j] and directions[j] is Direction.TOP_DOWN
@@ -223,6 +295,11 @@ class BitwiseTraversal:
                 j for j in range(group_size)
                 if active[j] and directions[j] is Direction.BOTTOM_UP
             ]
+            if bu_instances and self._reverse is None:
+                # A replayed or adaptive plan may go bottom-up even when
+                # the construction-time policy never would have.
+                self._reverse = self.graph.reverse()
+            workspace = self._get_workspace(n, lanes, decision.snapshot)
             # Per-level wall-clock profile span; a no-op flag test when
             # profiling is off (the <= 5% overhead budget boundary).
             with obs_profile.span(
@@ -230,6 +307,12 @@ class BitwiseTraversal:
                 depth=level,
                 td_instances=len(td_instances),
                 bu_instances=len(bu_instances),
+                kernel=decision.kernel,
+                vector_width=decision.vector_width,
+                snapshot=decision.snapshot,
+                early_termination=decision.early_termination,
+                policy=planner.name,
+                replay=not wants_stats,
             ):
                 progressed, counts, frontier_edges, frontier = self._level(
                     bsa,
@@ -246,53 +329,33 @@ class BitwiseTraversal:
                     frontier_deg,
                     frontier,
                     frontier_counts,
+                    decision,
                 )
             frontier_counts = counts
             visited_deg += frontier_edges
             unexplored = total_edges - visited_deg
             frontier_deg = frontier_edges
-            group_frontier_edges = 0
-            group_unexplored = 0
-            group_frontier_count = 0
+            visited_count += counts
             for j in range(group_size):
                 if not active[j]:
                     continue
                 if directions[j] is Direction.TOP_DOWN:
                     if counts[j] == 0:
                         active[j] = False
-                        continue
                 else:
                     if not progressed[j]:
                         active[j] = False
-                        continue
-                if self.direction_mode == "per-instance":
-                    directions[j] = self.policy.next_direction(
-                        directions[j],
-                        int(frontier_edges[j]),
-                        int(unexplored[j]),
-                        int(counts[j]),
-                        n,
-                    )
-                else:
-                    group_frontier_edges += int(frontier_edges[j])
-                    group_unexplored += int(unexplored[j])
-                    group_frontier_count += int(counts[j])
-            if self.direction_mode == "per-group" and active.any():
-                # One vote on aggregate statistics; every live instance
-                # follows it (the "still" per-instance Direction state
-                # machine sees the mean instance).
-                survivors = [j for j in range(group_size) if active[j]]
-                live = len(survivors)
-                current = directions[survivors[0]]
-                voted = self.policy.next_direction(
-                    current,
-                    group_frontier_edges // live,
-                    group_unexplored // live,
-                    group_frontier_count // live,
-                    n,
+            if wants_stats:
+                stats_prev = LevelStats(
+                    level=level,
+                    num_vertices=n,
+                    total_edges=total_edges,
+                    frontier_vertices=tuple(int(c) for c in counts),
+                    frontier_edges=tuple(int(e) for e in frontier_edges),
+                    unexplored_edges=tuple(int(u) for u in unexplored),
+                    visited_vertices=tuple(int(v) for v in visited_count),
+                    active=tuple(bool(a) for a in active),
                 )
-                for j in survivors:
-                    directions[j] = voted
             level += 1
 
         record.counters.kernel_launches += 1
@@ -308,6 +371,7 @@ class BitwiseTraversal:
             td_sharing=sharing_log["td"],
             bu_sharing=sharing_log["bu"],
             bottom_up_inspections=bu_inspections.tolist(),
+            plan=run_plan,
         )
         return depths, record, stats
 
@@ -319,7 +383,7 @@ class BitwiseTraversal:
         bsa: np.ndarray,
         depths_vm: np.ndarray,
         masks: np.ndarray,
-        workspace: LevelWorkspace,
+        workspace,
         td_instances: List[int],
         bu_instances: List[int],
         level: int,
@@ -330,6 +394,7 @@ class BitwiseTraversal:
         frontier_deg: np.ndarray,
         frontier,
         frontier_counts: np.ndarray,
+        decision: LevelDecision,
     ):
         mem = self.device.memory
         counters = record.counters
@@ -383,7 +448,7 @@ class BitwiseTraversal:
             )
             return progressed, counts, fdeg_next, empty_frontier
 
-        workspace.begin_level()
+        workspace.begin_level(bsa)
         loads = 0
         stores = 0
         load_requests = 0
@@ -442,7 +507,13 @@ class BitwiseTraversal:
         if bu_instances:
             tally_before = int(bu_inspections.sum())
             probes_total, early, updated = self._bottom_up_pass(
-                bsa, workspace, bu_mask_vertices, bu_lane_mask, bu_inspections
+                bsa,
+                workspace,
+                bu_mask_vertices,
+                bu_lane_mask,
+                bu_inspections,
+                early_termination=decision.early_termination,
+                kernel=decision.kernel,
             )
             logical_edges += int(bu_inspections.sum()) - tally_before
             inspections_level += probes_total
@@ -496,7 +567,7 @@ class BitwiseTraversal:
         # rewrites its per-level visit array.  Vector loads (long2/long4)
         # fetch several lanes per instruction: same bytes, fewer
         # requests and fewer scan instructions.
-        words_per_vertex = -(-lanes // self.vector_width)
+        words_per_vertex = -(-lanes // decision.vector_width)
         scan_ops = num_vertices * words_per_vertex
         loads += 2 * mem.stream_transactions(num_vertices * word_bytes)
         load_requests += 2 * self.device.warps_for(scan_ops)
@@ -540,10 +611,12 @@ class BitwiseTraversal:
     def _bottom_up_pass(
         self,
         bsa: np.ndarray,
-        workspace: LevelWorkspace,
+        workspace,
         bu_mask_vertices: np.ndarray,
         bu_lane_mask: np.ndarray,
         bu_inspections: np.ndarray,
+        early_termination: bool = True,
+        kernel: str = "auto",
     ):
         """Scan in-neighbors of unvisited vertices, OR-ing their words.
 
@@ -577,9 +650,10 @@ class BitwiseTraversal:
             state,
             bu_lane_mask,
             bu_lane_mask,
-            self.early_termination,
+            early_termination,
             lambda rows: workspace.snapshot_rows(bsa, rows),
             bu_inspections,
+            kernel=kernel,
         )
 
         # "Updated" for the store model compares against BSA_k (the

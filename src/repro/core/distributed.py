@@ -11,7 +11,7 @@ per-device utilization, and the aggregate traversal rate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np

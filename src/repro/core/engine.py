@@ -19,12 +19,13 @@ from repro.graph.csr import CSRGraph
 from repro.gpusim.cluster import Cluster
 from repro.gpusim.counters import ProfilerCounters
 from repro.gpusim.device import Device
-from repro.bfs.direction import DirectionPolicy
 from repro.obs import profile as obs_profile
 from repro.core.bitwise import BitwiseTraversal
 from repro.core.groupby import GroupByConfig, group_sources, random_groups
 from repro.core.joint import JointTraversal
 from repro.core.result import ConcurrentResult, GroupStats
+from repro.plan.policy import DirectionPolicy, Policy
+from repro.plan.types import RunPlan
 
 #: JSA stores one byte per instance-vertex; BSA one bit.
 _STATUS_BYTES_PER_INSTANCE = {"joint": 1.0, "bitwise": 0.125}
@@ -70,6 +71,28 @@ class IBFSConfig:
             raise TraversalError("group_size must be positive")
         if self.mode not in ("joint", "bitwise"):
             raise TraversalError(f"unknown mode {self.mode!r}")
+        if self.vector_width not in (1, 2, 4):
+            raise TraversalError(
+                f"vector_width must be 1, 2, or 4 (long/long2/long4); "
+                f"got {self.vector_width!r}"
+            )
+        if self.mode == "joint" and self.vector_width != 1:
+            raise TraversalError(
+                "vector_width is a bitwise-mode knob (status-word vector "
+                "loads); joint mode has no packed status words to "
+                "vector-load — use mode='bitwise' or vector_width=1"
+            )
+        if not isinstance(self.groupby_config, GroupByConfig):
+            raise TraversalError(
+                f"groupby_config must be a GroupByConfig; "
+                f"got {type(self.groupby_config).__name__}"
+            )
+        if not self.groupby and self.groupby_config != GroupByConfig():
+            raise TraversalError(
+                "custom groupby_config q/p thresholds have no effect with "
+                "groupby=False (random grouping uses IBFSConfig.seed); "
+                "enable groupby or drop the custom GroupByConfig"
+            )
 
 
 class IBFS:
@@ -81,6 +104,7 @@ class IBFS:
         config: Optional[IBFSConfig] = None,
         device: Optional[Device] = None,
         policy: Optional[DirectionPolicy] = None,
+        planner: Optional[Policy] = None,
     ) -> None:
         self.graph = graph
         self.config = config or IBFSConfig()
@@ -93,9 +117,15 @@ class IBFS:
                 self.policy,
                 early_termination=self.config.early_termination,
                 vector_width=self.config.vector_width,
+                planner=planner,
             )
         else:
-            self._group_engine = JointTraversal(graph, self.device, self.policy)
+            self._group_engine = JointTraversal(
+                graph, self.device, self.policy, planner=planner
+            )
+        #: The policy actually making per-level decisions (the explicit
+        #: ``planner`` or the legacy knobs wrapped into a HeuristicPolicy).
+        self.planner = self._group_engine.planner
 
     @property
     def name(self) -> str:
@@ -131,6 +161,7 @@ class IBFS:
         self,
         group: Sequence[int],
         max_depth: Optional[int] = None,
+        plan: Optional[RunPlan] = None,
     ) -> ConcurrentResult:
         """Execute one pre-formed group as a single joint kernel.
 
@@ -141,6 +172,10 @@ class IBFS:
         The group must respect the device capacity rule and contain
         distinct in-range sources.  Depths are always stored — the
         returned :class:`ConcurrentResult` holds exactly one group.
+
+        ``plan`` replays a previously recorded
+        :class:`~repro.plan.types.RunPlan` bit-identically, skipping
+        all per-level heuristic evaluation.
         """
         group = [int(s) for s in group]
         if not group:
@@ -157,10 +192,14 @@ class IBFS:
                 f"{capacity}"
             )
         with obs_profile.span(
-            "engine.run_group", group_size=len(group), mode=self.config.mode
+            "engine.run_group",
+            group_size=len(group),
+            mode=self.config.mode,
+            policy=self.planner.name if plan is None else plan.policy,
+            replay=plan is not None,
         ):
             depths, record, stats = self._group_engine.run_group(
-                group, max_depth=max_depth
+                group, max_depth=max_depth, plan=plan
             )
         counters = ProfilerCounters()
         counters.merge(record.counters)

@@ -19,7 +19,7 @@ common neighbors (section 5.2's "slightly different rule").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -13,6 +13,14 @@ All instances of a group execute inside a single simulated kernel:
 Each instance still inspects independently ("shared frontiers do not
 reduce the overall workload") — the savings are in memory traffic, and
 the counters below reflect exactly that.
+
+Per-level direction comes from the planner (:mod:`repro.plan`): each
+executed level consumes one :class:`~repro.plan.types.LevelDecision`
+and the sequence is recorded as a :class:`~repro.plan.types.RunPlan`
+on the returned stats; ``plan=`` replays a recording bit-identically.
+The JSA engine has no bitwise kernel variants, so a decision's
+``kernel``/``vector_width``/``snapshot`` fields are carried in the
+record but do not change execution here.
 """
 
 from __future__ import annotations
@@ -25,10 +33,16 @@ from repro.errors import TraversalError
 from repro.graph.csr import CSRGraph, VERTEX_DTYPE
 from repro.gpusim.counters import LevelRecord, RunRecord
 from repro.gpusim.device import Device
-from repro.bfs.direction import Direction, DirectionPolicy
 from repro.core.result import GroupStats
 from repro.core.sharing import SharingObserver
 from repro.kernels import bucketed_hit_scan, instance_frontier_stats
+from repro.plan.policy import (
+    DirectionPolicy,
+    HeuristicPolicy,
+    Policy,
+    RecordedPolicy,
+)
+from repro.plan.types import Direction, LevelDecision, LevelStats, RunPlan
 from repro.util import gather_neighbors
 
 #: One status byte per (vertex, instance) pair, as in figure 4.
@@ -49,16 +63,21 @@ class JointTraversal:
         graph: CSRGraph,
         device: Optional[Device] = None,
         policy: Optional[DirectionPolicy] = None,
+        planner: Optional[Policy] = None,
     ) -> None:
         self.graph = graph
         self.device = device or Device()
         self.policy = policy or DirectionPolicy()
-        self._reverse = graph.reverse() if self.policy.allow_bottom_up else None
+        if planner is None:
+            planner = HeuristicPolicy.from_direction_policy(self.policy)
+        self.planner = planner
+        self._reverse = graph.reverse() if planner.allow_bottom_up else None
 
     def run_group(
         self,
         sources: Sequence[int],
         max_depth: Optional[int] = None,
+        plan: Optional[RunPlan] = None,
     ):
         """Traverse all sources jointly.
 
@@ -77,24 +96,47 @@ class JointTraversal:
             if not 0 <= s < n:
                 raise TraversalError(f"source {s} out of range [0, {n})")
 
+        if plan is not None:
+            planner: Policy = RecordedPolicy(plan)
+        else:
+            planner = self.planner
+        total_edges = self.graph.num_edges
+        session = planner.session(group_size, n, total_edges)
+        wants_stats = session.wants_stats
+        run_plan = RunPlan(
+            policy=planner.name, engine=self.name, group_size=group_size
+        )
+
         depths = np.full((group_size, n), UNVISITED, dtype=np.int32)
         depths[np.arange(group_size), sources] = 0
-        directions = [self.policy.initial()] * group_size
         active = np.ones(group_size, dtype=bool)
         out_degrees = self.graph.out_degrees()
-        total_edges = self.graph.num_edges
+        visited_count = np.ones(group_size, dtype=np.int64)
 
         record = RunRecord()
         observer = SharingObserver(group_size)
         sharing_log = {"td": [], "bu": []}
         bu_inspections = np.zeros(group_size, dtype=np.int64)
 
+        decision: Optional[LevelDecision] = None
+        stats_prev: Optional[LevelStats] = None
         level = 0
         while active.any():
             if max_depth is not None and level >= max_depth:
                 break
             if level > n + 1:
                 raise TraversalError("traversal failed to converge")
+            if decision is None:
+                decision = session.initial()
+            else:
+                decision = session.next(stats_prev)
+            if decision.num_instances != group_size:
+                raise TraversalError(
+                    f"planner decided {decision.num_instances} instances "
+                    f"for a group of {group_size}"
+                )
+            run_plan.append(decision)
+            directions = decision.directions
             td_instances = [
                 j for j in range(group_size)
                 if active[j] and directions[j] is Direction.TOP_DOWN
@@ -103,6 +145,8 @@ class JointTraversal:
                 j for j in range(group_size)
                 if active[j] and directions[j] is Direction.BOTTOM_UP
             ]
+            if bu_instances and self._reverse is None:
+                self._reverse = self.graph.reverse()
             progressed = self._level(
                 depths,
                 td_instances,
@@ -114,29 +158,33 @@ class JointTraversal:
                 bu_inspections,
             )
 
-            # Per-instance bookkeeping: completion and direction switch.
-            # All instances' statistics come from one vectorized pass
-            # over the depth matrix instead of group_size dense scans.
+            # Per-instance bookkeeping: completion and the statistics the
+            # policy feeds on.  All instances' statistics come from one
+            # vectorized pass over the depth matrix instead of
+            # group_size dense scans.
             counts, frontier_edges, unexplored = instance_frontier_stats(
                 depths, level, out_degrees, total_edges
             )
+            visited_count += counts
             for j in range(group_size):
                 if not active[j]:
                     continue
                 if directions[j] is Direction.TOP_DOWN:
                     if counts[j] == 0:
                         active[j] = False
-                        continue
                 else:
                     if not progressed[j]:
                         active[j] = False
-                        continue
-                directions[j] = self.policy.next_direction(
-                    directions[j],
-                    int(frontier_edges[j]),
-                    int(unexplored[j]),
-                    int(counts[j]),
-                    n,
+            if wants_stats:
+                stats_prev = LevelStats(
+                    level=level,
+                    num_vertices=n,
+                    total_edges=total_edges,
+                    frontier_vertices=tuple(int(c) for c in counts),
+                    frontier_edges=tuple(int(e) for e in frontier_edges),
+                    unexplored_edges=tuple(int(u) for u in unexplored),
+                    visited_vertices=tuple(int(v) for v in visited_count),
+                    active=tuple(bool(a) for a in active),
                 )
             level += 1
 
@@ -152,6 +200,7 @@ class JointTraversal:
             td_sharing=sharing_log["td"],
             bu_sharing=sharing_log["bu"],
             bottom_up_inspections=bu_inspections.tolist(),
+            plan=run_plan,
         )
         return depths, record, stats
 

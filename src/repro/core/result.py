@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -35,6 +35,10 @@ class GroupStats:
     bu_sharing: List[tuple] = field(default_factory=list)
     #: Per-instance bottom-up inspection counts (figure 11's data).
     bottom_up_inspections: List[int] = field(default_factory=list)
+    #: Decision log of the traversal (``repro.plan.RunPlan``); excluded
+    #: from equality so engine stats still compare clean against
+    #: reference stats built without a planner.
+    plan: Optional[object] = field(default=None, compare=False, repr=False)
 
 
 @dataclass
@@ -125,6 +129,11 @@ class ConcurrentResult:
     def group_times(self) -> List[float]:
         """Simulated seconds per group (the cluster scheduler's units)."""
         return [g.seconds for g in self.groups]
+
+    @property
+    def plans(self) -> List:
+        """Recorded per-group decision logs (``repro.plan.RunPlan``)."""
+        return [g.plan for g in self.groups]
 
     def summary(self) -> Dict[str, float]:
         """Compact scalar summary used by the benchmark harness."""

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.errors import GroupingError
 from repro.graph.csr import CSRGraph
-from repro.bfs.direction import DirectionPolicy
+from repro.plan.policy import DirectionPolicy
 from repro.core.joint import JointTraversal
 
 

@@ -40,7 +40,8 @@ from repro.gpusim.cluster import Cluster
 from repro.gpusim.config import DeviceConfig
 from repro.gpusim.counters import ProfilerCounters
 from repro.gpusim.device import Device
-from repro.bfs.direction import DirectionPolicy
+from repro.plan.policy import DirectionPolicy, Policy
+from repro.plan.types import RunPlan
 from repro.core.engine import IBFS, IBFSConfig
 from repro.core.result import ConcurrentResult, GroupStats
 from repro.exec.faults import (
@@ -197,6 +198,7 @@ class _Task:
     group: List[int]
     max_depth: Optional[int]
     want_depths: bool
+    plan: Optional[RunPlan] = None
 
 
 class _Worker:
@@ -227,15 +229,19 @@ class GroupExecutor:
         exec_config: Optional[ExecConfig] = None,
         device_config: Optional[DeviceConfig] = None,
         policy: Optional[DirectionPolicy] = None,
+        planner: Optional[Policy] = None,
     ) -> None:
         self.graph = graph
         self.exec_config = exec_config or ExecConfig()
         self._device_config = device_config
         self._policy_obj = policy
+        self._planner = planner
         device = Device(device_config) if device_config else None
         #: Local engine: grouping, capacity checks, and the in-process
         #: execution path all run through it.
-        self.engine = IBFS(graph, config, device=device, policy=policy)
+        self.engine = IBFS(
+            graph, config, device=device, policy=policy, planner=planner
+        )
         self.cost_model = CostModel(graph)
         self._dispatch_policy = get_policy(self.exec_config.scheduler)
         self._handle = None
@@ -370,6 +376,7 @@ class GroupExecutor:
             config=self.engine.config,
             device_config=self._device_config,
             policy=self._policy_obj,
+            planner=self._planner,
         )
         profile_config = obs_profile.get_config()
         process = self._ctx.Process(
@@ -440,32 +447,40 @@ class GroupExecutor:
         )
 
     def run_group(
-        self, group: Sequence[int], max_depth: Optional[int] = None
+        self,
+        group: Sequence[int],
+        max_depth: Optional[int] = None,
+        plan: Optional[RunPlan] = None,
     ) -> ConcurrentResult:
         """Execute one pre-formed group (the serving layer's unit)."""
-        results = self.map_groups([(group, max_depth)])
+        results = self.map_groups([(group, max_depth, plan)])
         return results[0]
 
     def map_groups(
         self,
-        specs: Sequence[Tuple[Sequence[int], Optional[int]]],
+        specs: Sequence[Tuple],
         return_errors: bool = False,
     ) -> List[Union[ConcurrentResult, ReproError]]:
         """Execute many pre-formed groups concurrently.
 
-        Returns one :class:`ConcurrentResult` per spec, in spec order.
-        With ``return_errors`` a failed group yields its error object in
-        place of a result (so callers with their own retry policy — the
-        serving layer — handle failures per batch); otherwise the first
-        failure raises.
+        Each spec is ``(group, max_depth)`` or ``(group, max_depth,
+        plan)`` — the optional :class:`~repro.plan.types.RunPlan` ships
+        to the worker and replays there instead of re-running the
+        planner heuristics.  Returns one :class:`ConcurrentResult` per
+        spec, in spec order.  With ``return_errors`` a failed group
+        yields its error object in place of a result (so callers with
+        their own retry policy — the serving layer — handle failures
+        per batch); otherwise the first failure raises.
         """
         if not specs:
             return []
         tasks = []
-        for group, max_depth in specs:
+        for spec in specs:
+            group, max_depth = spec[0], spec[1]
+            replay = spec[2] if len(spec) > 2 else None
             group = [int(s) for s in group]
             self._validate_group(group)
-            tasks.append(_Task(group, max_depth, True))
+            tasks.append(_Task(group, max_depth, True, replay))
         outcomes = self._execute(tasks, collect_errors=return_errors)
         results: List[Union[ConcurrentResult, ReproError]] = []
         for task, outcome in zip(tasks, outcomes):
@@ -551,9 +566,12 @@ class GroupExecutor:
     def _run_local(self, task: _Task) -> tuple:
         wall_start = time.perf_counter()
         with obs_tracing.get_tracer().span(
-            "exec.local_task", group_size=len(task.group)
+            "exec.local_task", group_size=len(task.group),
+            replay=task.plan is not None,
         ):
-            result = self.engine.run_group(task.group, max_depth=task.max_depth)
+            result = self.engine.run_group(
+                task.group, max_depth=task.max_depth, plan=task.plan
+            )
         wall = time.perf_counter() - wall_start
         self.cost_model.observe(task.group, wall)
         self._task_wall_histogram().observe(wall)
@@ -656,6 +674,7 @@ class GroupExecutor:
                     task.group,
                     task.max_depth,
                     task.want_depths,
+                    task.plan,
                     span.context if span is not None else None,
                 )
             )

@@ -24,7 +24,7 @@ measurements exist.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence
+from typing import Deque, List, Optional, Sequence
 
 import numpy as np
 

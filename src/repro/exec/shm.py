@@ -29,12 +29,12 @@ import os
 import secrets
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.errors import ExecutorError
-from repro.graph.csr import CSRGraph, VERTEX_DTYPE
+from repro.graph.csr import CSRGraph
 from repro.service.cache import graph_cache_id
 
 try:  # pragma: no cover - import guard for exotic platforms

@@ -4,8 +4,11 @@ Each worker attaches the shared-memory graph once, builds its own
 :class:`~repro.core.engine.IBFS` engine (bit-identical to the parent's:
 same config, device model, and direction policy), and then loops on its
 task queue.  A task is ``(epoch, task_id, attempt, group, max_depth,
-want_depths, trace_ctx)``; the reply on the shared result queue is
-either
+want_depths, plan, trace_ctx)`` — ``plan`` is an optional recorded
+:class:`~repro.plan.types.RunPlan` replayed instead of re-running the
+planner heuristics, and the :class:`~repro.core.result.GroupStats` in
+the reply carries the plan the engine actually executed.  The reply on
+the shared result queue is either
 
 ``("ok", worker_id, epoch, task_id, attempt, depth_spec, depths,
 counters, stats, wall_seconds, spans)``
@@ -43,7 +46,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.core.engine import IBFS, IBFSConfig
-from repro.bfs.direction import DirectionPolicy
+from repro.plan.policy import DirectionPolicy, Policy
 from repro.gpusim.config import DeviceConfig
 from repro.gpusim.device import Device
 from repro.exec.faults import FaultPlan
@@ -59,10 +62,17 @@ class EngineSpec:
     config: IBFSConfig
     device_config: Optional[DeviceConfig] = None
     policy: Optional[DirectionPolicy] = None
+    planner: Optional[Policy] = None
 
     def build(self, graph) -> IBFS:
         device = Device(self.device_config) if self.device_config else None
-        return IBFS(graph, self.config, device=device, policy=self.policy)
+        return IBFS(
+            graph,
+            self.config,
+            device=device,
+            policy=self.policy,
+            planner=self.planner,
+        )
 
 
 @dataclass(frozen=True)
@@ -121,7 +131,7 @@ def worker_main(
             if message is None:
                 break
             (epoch, task_id, attempt, group, max_depth, want_depths,
-             trace_ctx) = message
+             replay_plan, trace_ctx) = message
             start = time.perf_counter()
             spans: List[Tuple] = []
             try:
@@ -136,11 +146,15 @@ def worker_main(
                         group_size=len(group),
                     ):
                         plan.apply(task_id, attempt)
-                        result = engine.run_group(group, max_depth=max_depth)
+                        result = engine.run_group(
+                            group, max_depth=max_depth, plan=replay_plan
+                        )
                     spans = [s.to_dict() for s in tracer.drain()]
                 else:
                     plan.apply(task_id, attempt)
-                    result = engine.run_group(group, max_depth=max_depth)
+                    result = engine.run_group(
+                        group, max_depth=max_depth, plan=replay_plan
+                    )
                 wall = time.perf_counter() - start
                 depth_spec = None
                 depths = None

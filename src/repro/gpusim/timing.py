@@ -18,7 +18,7 @@ applied to exactly-counted transactions:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
 
 from repro.errors import SimulationError
 from repro.gpusim.config import DeviceConfig

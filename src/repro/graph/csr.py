@@ -10,7 +10,7 @@ and a lazily built reverse CSR over the same vertex set.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 

@@ -8,7 +8,7 @@ generator (RD).  All generators here are deterministic given a seed.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

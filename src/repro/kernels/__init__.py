@@ -35,9 +35,10 @@ from repro.kernels.bottomup import (
     round_major_probes,
 )
 from repro.kernels.scatter import ScatterPlan, scatter_or, scatter_plan
-from repro.kernels.workspace import LevelWorkspace
+from repro.kernels.workspace import FullSnapshotWorkspace, LevelWorkspace
 
 __all__ = [
+    "FullSnapshotWorkspace",
     "LevelWorkspace",
     "ScatterPlan",
     "bucketed_hit_scan",

@@ -140,19 +140,30 @@ def bucketed_or_scan(
     early_termination: bool,
     fetch_rows: Callable[[np.ndarray], np.ndarray],
     inspections_out: np.ndarray,
+    *,
+    kernel: str = "auto",
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray]]:
     """Profiled entry point for :func:`_bucketed_or_scan_impl` (the
     docstring there is authoritative); emits one
     ``profile.kernels.bottomup_or_scan`` span per call when profiling
-    is on, a single flag test when off."""
+    is on, a single flag test when off.
+
+    ``kernel`` selects the host execution variant (the planner's
+    :data:`~repro.plan.types.KERNEL_VARIANTS`): ``"auto"`` and
+    ``"flat"`` use the flat single-lane specialization when the group
+    fits one status word, ``"generic"`` forces the row-wise multi-lane
+    passes.  All variants are bit-identical in outputs and counters.
+    """
     with obs_profile.span(
         "kernels.bottomup_or_scan",
         positions=int(starts.size),
         early_termination=bool(early_termination),
+        kernel=kernel,
     ):
         return _bucketed_or_scan_impl(
             indices, starts, ends, state, lane_mask, target,
             early_termination, fetch_rows, inspections_out,
+            kernel=kernel,
         )
 
 
@@ -166,6 +177,8 @@ def _bucketed_or_scan_impl(
     early_termination: bool,
     fetch_rows: Callable[[np.ndarray], np.ndarray],
     inspections_out: np.ndarray,
+    *,
+    kernel: str = "auto",
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray]]:
     """Per-vertex bottom-up OR scan with optional early termination.
 
@@ -223,7 +236,10 @@ def _bucketed_or_scan_impl(
         # every pass.  Single-lane groups run entirely on flat scalar
         # words (1-D selects and scatters are markedly cheaper than
         # row-wise ones).
-        flat = lanes == 1
+        # "generic" opts out of the flat specialization; "flat" asks for
+        # it (honored only when the group fits one word — the flat pass
+        # is structurally single-lane).
+        flat = lanes == 1 and kernel != "generic"
         if flat:
             pass_fn = _et_pass_flat
             pre = np.take(state.reshape(-1), positions)

@@ -44,8 +44,13 @@ class LevelWorkspace:
         """Rows stashed so far this level."""
         return self._num_dirty
 
-    def begin_level(self) -> None:
-        """Reset the dirty set (touches only previously dirty entries)."""
+    def begin_level(self, words: np.ndarray = None) -> None:
+        """Reset the dirty set (touches only previously dirty entries).
+
+        ``words`` is accepted for interface parity with
+        :class:`FullSnapshotWorkspace` and ignored — the dirty strategy
+        snapshots lazily, row by row.
+        """
         if self._num_dirty:
             self._dirty_pos[self._dirty_rows[: self._num_dirty]] = -1
         self._num_dirty = 0
@@ -117,3 +122,51 @@ class LevelWorkspace:
         diff = words[rows] ^ self._saved[:k]
         nonzero = np.any(diff != 0, axis=1)
         return rows[nonzero], diff[nonzero]
+
+
+class FullSnapshotWorkspace:
+    """Whole-array ``BSA_k`` snapshot — the reference bookkeeping.
+
+    The planner's ``snapshot="full"`` strategy: ``begin_level`` copies
+    the entire status array, per-row stashing becomes a no-op, and
+    ``changed`` is one full XOR.  Same frontiers and counters as the
+    dirty-row stash (every consumer of ``changed`` is order-independent),
+    but O(num_vertices) work per level regardless of how few rows the
+    level touched — the right trade on dense levels, where the dirty set
+    approaches the whole array anyway.
+    """
+
+    __slots__ = ("num_vertices", "lanes", "_snapshot", "_primed")
+
+    def __init__(self, num_vertices: int, lanes: int) -> None:
+        self.num_vertices = num_vertices
+        self.lanes = lanes
+        self._snapshot = np.zeros((num_vertices, lanes), dtype=np.uint64)
+        self._primed = False
+
+    def begin_level(self, words: np.ndarray = None) -> None:
+        """Copy the live array as this level's ``BSA_k``."""
+        if words is None:
+            raise ValueError(
+                "FullSnapshotWorkspace.begin_level needs the live array"
+            )
+        np.copyto(self._snapshot, words)
+        self._primed = True
+
+    def stash_rows(self, words: np.ndarray, rows: np.ndarray) -> None:
+        """No-op: the full snapshot already holds every pre-level row."""
+
+    def snapshot_rows(self, words: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Pre-level (``BSA_k``) values of arbitrary ``rows``."""
+        if self.lanes == 1:
+            return np.take(self._snapshot.reshape(-1), rows)[:, None]
+        return self._snapshot[rows]
+
+    def changed(self, words: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Rows whose live value differs from the level snapshot."""
+        if not self._primed:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, np.empty((0, self.lanes), dtype=np.uint64)
+        diff = words ^ self._snapshot
+        rows = np.flatnonzero(np.any(diff != 0, axis=1)).astype(np.int64)
+        return rows, diff[rows]

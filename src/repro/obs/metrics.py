@@ -21,7 +21,7 @@ bucket.  Each histogram also retains its raw observations (bounded by
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ObservabilityError
 

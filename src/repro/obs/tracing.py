@@ -53,6 +53,12 @@ class Span:
     #: ``"ok"`` or ``"error"``.
     status: str = "ok"
 
+    def annotate(self, **attrs) -> "Span":
+        """Merge attributes discovered after the span opened (e.g. the
+        planner decision a traversal level actually took)."""
+        self.attrs.update(attrs)
+        return self
+
     @property
     def duration(self) -> float:
         """Seconds between start and finish (0.0 while open)."""

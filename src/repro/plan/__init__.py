@@ -1,0 +1,50 @@
+"""repro.plan — the unified per-level traversal planner.
+
+One layer owns every per-level choice the engines used to scatter:
+traversal direction, bottom-up kernel variant, vector load width,
+workspace snapshot strategy, and early termination.  Policies produce
+typed :class:`LevelDecision` objects; engines execute them and record
+the sequence as a :class:`RunPlan`, which replays bit-identically via
+:class:`RecordedPolicy`.
+"""
+
+from repro.plan.adaptive import AdaptivePolicy
+from repro.plan.policy import (
+    DIRECTION_MODES,
+    DirectionPolicy,
+    FixedPolicy,
+    HeuristicPolicy,
+    Policy,
+    PolicySession,
+    RecordedPolicy,
+)
+from repro.plan.presets import POLICY_NAMES, make_policy
+from repro.plan.types import (
+    KERNEL_VARIANTS,
+    SNAPSHOT_STRATEGIES,
+    VECTOR_WIDTHS,
+    Direction,
+    LevelDecision,
+    LevelStats,
+    RunPlan,
+)
+
+__all__ = [
+    "AdaptivePolicy",
+    "DIRECTION_MODES",
+    "Direction",
+    "DirectionPolicy",
+    "FixedPolicy",
+    "HeuristicPolicy",
+    "KERNEL_VARIANTS",
+    "LevelDecision",
+    "LevelStats",
+    "POLICY_NAMES",
+    "Policy",
+    "PolicySession",
+    "RecordedPolicy",
+    "RunPlan",
+    "SNAPSHOT_STRATEGIES",
+    "VECTOR_WIDTHS",
+    "make_policy",
+]

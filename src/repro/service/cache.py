@@ -1,29 +1,39 @@
-"""LRU result cache for served traversals.
+"""LRU caches for served traversals: depth rows and traversal plans.
 
 Power-law graphs concentrate queries on hot vertices the same way they
 concentrate edges on hubs, so an online BFS service sees heavily
-repeated sources.  A depth row fully determines every answer the
-service can give about a source (reached count, target depth,
-closeness), so the cache stores depth rows keyed by
-``(graph_id, source, engine_key, max_depth)`` and every request kind is
-served from the same entry.
+repeated sources.  Two caches exploit that, both bounded LRUs over the
+same machinery:
+
+* :class:`ResultCache` stores depth rows keyed by
+  ``(graph_id, source, engine_key, max_depth)``.  A depth row fully
+  determines every answer the service can give about a source (reached
+  count, target depth, closeness), so every request kind is served from
+  the same entry.
+* :class:`PlanCache` stores recorded :class:`~repro.plan.types.RunPlan`
+  objects keyed by ``(graph_id, group_signature, engine_key,
+  max_depth)``.  A repeated *batch* (same group of sources on the same
+  graph under the same engine) replays its plan instead of re-running
+  the planner heuristics at every level — the traversal itself is
+  bit-identical either way.
 
 ``graph_id`` fingerprints the CSR arrays (so two servers on different
 graphs never alias) and ``engine_key`` fingerprints the engine
-configuration, per the serving-layer contract.
+configuration plus the planner policy, per the serving-layer contract.
 """
 
 from __future__ import annotations
 
 import zlib
 from collections import OrderedDict
-from typing import Hashable, Optional, Tuple
+from typing import Hashable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ServiceError
 from repro.graph.csr import CSRGraph
 from repro.core.engine import IBFSConfig
+from repro.plan.types import RunPlan
 
 
 def graph_cache_id(graph: CSRGraph) -> str:
@@ -46,28 +56,40 @@ def graph_cache_id(graph: CSRGraph) -> str:
     return cache_id
 
 
-def engine_cache_key(config: IBFSConfig) -> str:
-    """Stable fingerprint of the engine configuration."""
-    return (
+def engine_cache_key(
+    config: IBFSConfig, policy_name: Optional[str] = None
+) -> str:
+    """Stable fingerprint of the engine configuration.
+
+    ``policy_name`` (the planner policy's name) is appended when given:
+    two servers over the same :class:`IBFSConfig` but different planner
+    policies can produce different traversal schedules, so their cached
+    plans — and, for policies that change results such as capped
+    ``max_depth`` heuristics, depth rows — must not alias.
+    """
+    key = (
         f"{config.mode}-n{config.group_size}"
         f"-gb{int(config.groupby)}-et{int(config.early_termination)}"
         f"-vw{config.vector_width}-s{config.seed}"
     )
+    if policy_name is not None:
+        key += f"-pol{policy_name}"
+    return key
 
 
-class ResultCache:
-    """Bounded LRU mapping cache keys to depth rows.
+class LRUCache:
+    """Bounded LRU mapping hashable keys to cached values.
 
     ``capacity`` counts entries; 0 disables caching entirely (every
-    lookup misses, every store is dropped) so the unbatched baseline
-    can run cache-free through the same code path.
+    lookup misses, every store is dropped) so an unbatched or
+    plan-cache-free baseline can run through the same code path.
     """
 
     def __init__(self, capacity: int) -> None:
         if capacity < 0:
             raise ServiceError("cache capacity must be non-negative")
         self.capacity = capacity
-        self._entries: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -75,31 +97,25 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    @staticmethod
-    def key(
-        graph_id: str, source: int, engine_key: str, max_depth: Optional[int]
-    ) -> Tuple[str, int, str, Optional[int]]:
-        return (graph_id, int(source), engine_key, max_depth)
-
-    def get(self, key: Hashable) -> Optional[np.ndarray]:
-        """Depth row for ``key``, refreshing recency; ``None`` on miss."""
-        row = self._entries.get(key)
-        if row is None:
+    def get(self, key: Hashable):
+        """Value for ``key``, refreshing recency; ``None`` on miss."""
+        value = self._entries.get(key)
+        if value is None:
             self.misses += 1
             return None
         self._entries.move_to_end(key)
         self.hits += 1
-        return row
+        return value
 
-    def put(self, key: Hashable, depth_row: np.ndarray) -> None:
+    def put(self, key: Hashable, value) -> None:
         """Insert (or refresh) an entry, evicting the LRU on overflow."""
         if self.capacity == 0:
             return
         if key in self._entries:
             self._entries.move_to_end(key)
-            self._entries[key] = depth_row
+            self._entries[key] = value
             return
-        self._entries[key] = depth_row
+        self._entries[key] = value
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
@@ -122,3 +138,50 @@ class ResultCache:
             "evictions": self.evictions,
             "hit_rate": self.hit_rate,
         }
+
+
+class ResultCache(LRUCache):
+    """LRU of depth rows keyed per source."""
+
+    @staticmethod
+    def key(
+        graph_id: str, source: int, engine_key: str, max_depth: Optional[int]
+    ) -> Tuple[str, int, str, Optional[int]]:
+        return (graph_id, int(source), engine_key, max_depth)
+
+    def get(self, key: Hashable) -> Optional[np.ndarray]:
+        """Depth row for ``key``, refreshing recency; ``None`` on miss."""
+        return super().get(key)
+
+    def put(self, key: Hashable, depth_row: np.ndarray) -> None:
+        super().put(key, depth_row)
+
+
+class PlanCache(LRUCache):
+    """LRU of recorded traversal plans keyed per batch.
+
+    The group *signature* is the ordered tuple of sources: the planner's
+    per-instance decisions are positional, so the same sources in a
+    different order are a different plan.
+    """
+
+    @staticmethod
+    def key(
+        graph_id: str,
+        sources: Sequence[int],
+        engine_key: str,
+        max_depth: Optional[int],
+    ) -> Tuple[str, Tuple[int, ...], str, Optional[int]]:
+        return (
+            graph_id,
+            tuple(int(s) for s in sources),
+            engine_key,
+            max_depth,
+        )
+
+    def get(self, key: Hashable) -> Optional[RunPlan]:
+        """Recorded plan for ``key``; ``None`` on miss."""
+        return super().get(key)
+
+    def put(self, key: Hashable, plan: RunPlan) -> None:
+        super().put(key, plan)

@@ -205,15 +205,22 @@ def compare_serving(
     graph: CSRGraph,
     workload: WorkloadConfig,
     serving: Optional[ServingConfig] = None,
+    planner=None,
 ) -> dict:
     """Run the same workload through micro-batched and naive serving.
 
     Returns ``{"batched": LoadResult, "naive": LoadResult,
     "speedup": float}`` where speedup is the throughput ratio.
+    ``planner`` is an optional :class:`~repro.plan.policy.Policy` both
+    servers traverse under.
     """
     serving = serving or ServingConfig()
-    batched = run_closed_loop(BFSServer(graph, serving), workload)
-    naive = run_closed_loop(BFSServer(graph, naive_config(serving)), workload)
+    batched = run_closed_loop(
+        BFSServer(graph, serving, planner=planner), workload
+    )
+    naive = run_closed_loop(
+        BFSServer(graph, naive_config(serving), planner=planner), workload
+    )
     speedup = (
         batched.throughput / naive.throughput if naive.throughput > 0 else 0.0
     )

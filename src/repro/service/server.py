@@ -40,11 +40,16 @@ from repro.errors import QueueFullError, ReproError, ServiceError
 from repro.graph.csr import CSRGraph
 from repro.obs import tracing as obs_tracing
 from repro.gpusim.device import Device
-from repro.bfs.direction import DirectionPolicy
+from repro.plan.policy import DirectionPolicy, Policy
 from repro.core.engine import IBFS, IBFSConfig
 from repro.core.groupby import GroupByConfig
 from repro.service.batcher import MicroBatcher
-from repro.service.cache import ResultCache, engine_cache_key, graph_cache_id
+from repro.service.cache import (
+    PlanCache,
+    ResultCache,
+    engine_cache_key,
+    graph_cache_id,
+)
 from repro.service.metrics import BatchRecord, MetricsRegistry
 from repro.service.request import (
     PendingRequest,
@@ -75,6 +80,12 @@ class ServingConfig:
         :class:`~repro.errors.QueueFullError`.
     cache_capacity:
         LRU result-cache entries (0 disables caching).
+    plan_cache_capacity:
+        LRU plan-cache entries (0 disables plan caching).  A repeated
+        batch — same ordered sources, same graph, same engine key —
+        replays its recorded :class:`~repro.plan.types.RunPlan` instead
+        of re-running the planner heuristics; depths and counters are
+        bit-identical either way.
     num_devices:
         Simulated devices executing batches (a small device pool; the
         queue backs up — and sheds — when all are busy).
@@ -97,6 +108,7 @@ class ServingConfig:
     flush_deadline: float = 2e-5
     queue_capacity: int = 256
     cache_capacity: int = 4096
+    plan_cache_capacity: int = 256
     num_devices: int = 1
     default_timeout: Optional[float] = None
     max_attempts: int = 2
@@ -113,6 +125,8 @@ class ServingConfig:
             raise ServiceError("queue_capacity must be positive")
         if self.cache_capacity < 0:
             raise ServiceError("cache_capacity must be non-negative")
+        if self.plan_cache_capacity < 0:
+            raise ServiceError("plan_cache_capacity must be non-negative")
         if self.num_devices <= 0:
             raise ServiceError("num_devices must be positive")
         if self.default_timeout is not None and self.default_timeout <= 0:
@@ -136,13 +150,16 @@ class BFSServer:
         groupby_config: Optional[GroupByConfig] = None,
         fault_injector: Optional[Callable[[Sequence[int]], None]] = None,
         executor: Optional["GroupExecutor"] = None,
+        planner: Optional[Policy] = None,
     ) -> None:
         self.graph = graph
         self.serving = serving or ServingConfig()
         engine_config = engine_config or IBFSConfig(
             group_size=self.serving.batch_size
         )
-        self.engine = IBFS(graph, engine_config, device=device, policy=policy)
+        self.engine = IBFS(
+            graph, engine_config, device=device, policy=policy, planner=planner
+        )
         #: Optional multi-process backend: batches that become ready at
         #: the same simulated instant (one per free device) execute as
         #: one concurrent wave on the executor's worker pool instead of
@@ -163,6 +180,7 @@ class BFSServer:
             groupby_config=groupby_config,
         )
         self.cache = ResultCache(self.serving.cache_capacity)
+        self.plan_cache = PlanCache(self.serving.plan_cache_capacity)
         self.metrics = MetricsRegistry()
         #: Test/chaos hook: called with the batch sources before each
         #: kernel; raising a ReproError fails the batch.
@@ -170,7 +188,9 @@ class BFSServer:
 
         self.clock = 0.0
         self._graph_id = graph_cache_id(graph)
-        self._engine_key = engine_cache_key(self.engine.config)
+        self._engine_key = engine_cache_key(
+            self.engine.config, self.engine.planner.name
+        )
         self._device_free = [0.0] * self.serving.num_devices
         self._completed: List[Response] = []
         self._next_id = 0
@@ -184,9 +204,9 @@ class BFSServer:
             raise ServiceError(
                 "executor graph does not match the server graph"
             )
-        if engine_cache_key(executor.engine.config) != engine_cache_key(
-            self.engine.config
-        ):
+        if engine_cache_key(
+            executor.engine.config, executor.engine.planner.name
+        ) != engine_cache_key(self.engine.config, self.engine.planner.name):
             raise ServiceError(
                 "executor engine config does not match the server's; "
                 "batches would traverse under a different configuration "
@@ -378,15 +398,21 @@ class BFSServer:
                 if not progressed:
                     return
                 continue
+            specs = [
+                (
+                    entry[2],
+                    entry[5],
+                    self.plan_cache.get(self._plan_key(entry[2], entry[5])),
+                )
+                for entry in wave
+            ]
             with obs_tracing.get_tracer().span(
                 "serve.wave",
                 batches=len(wave),
                 sources=sum(len(entry[2]) for entry in wave),
+                plans_cached=sum(1 for s in specs if s[2] is not None),
             ):
-                results = self.executor.map_groups(
-                    [(entry[2], entry[5]) for entry in wave],
-                    return_errors=True,
-                )
+                results = self.executor.map_groups(specs, return_errors=True)
             for entry, result in zip(wave, results):
                 device, prior_free, sources, batch, trigger, max_depth = entry
                 if isinstance(result, ReproError):
@@ -433,10 +459,17 @@ class BFSServer:
                 trigger=trigger,
                 num_sources=len(sources),
                 num_requests=len(batch),
-            ):
+            ) as span:
                 if self.fault_injector is not None:
                     self.fault_injector(sources)
-                result = self.engine.run_group(sources, max_depth=max_depth)
+                # Looked up after the chaos hook so a fault-failed batch
+                # touches the plan cache exactly as the wave path does.
+                plan = self.plan_cache.get(self._plan_key(sources, max_depth))
+                if span is not None:
+                    span.annotate(plan_cached=plan is not None)
+                result = self.engine.run_group(
+                    sources, max_depth=max_depth, plan=plan
+                )
         except ReproError as exc:
             self._handle_failure(batch, exc)
             return
@@ -471,6 +504,11 @@ class BFSServer:
                 trigger=trigger,
             )
         )
+
+        if stats.plan is not None:
+            self.plan_cache.put(
+                self._plan_key(sources, max_depth), stats.plan
+            )
 
         rows = {s: result.depths[i] for i, s in enumerate(sources)}
         for source, row in rows.items():
@@ -543,6 +581,11 @@ class BFSServer:
     # ------------------------------------------------------------------
     # Answers and bookkeeping
     # ------------------------------------------------------------------
+    def _plan_key(self, sources: Sequence[int], max_depth: Optional[int]):
+        return PlanCache.key(
+            self._graph_id, sources, self._engine_key, max_depth
+        )
+
     def _validate(self, request: Request) -> None:
         n = self.graph.num_vertices
         if not 0 <= request.source < n:
@@ -579,9 +622,11 @@ class BFSServer:
         """Metrics JSON payload including cache statistics."""
         if elapsed is None:
             elapsed = self.clock
-        return self.metrics.snapshot(
+        payload = self.metrics.snapshot(
             elapsed=elapsed, cache_stats=self.cache.stats()
         )
+        payload["plan_cache"] = self.plan_cache.stats()
+        return payload
 
 
 class InProcessClient:

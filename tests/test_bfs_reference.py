@@ -1,6 +1,5 @@
 """Oracle BFS sanity: hand-checked depth arrays."""
 
-import numpy as np
 import pytest
 
 from repro.errors import TraversalError

@@ -7,7 +7,6 @@ doubled instruction count) are caught immediately.  If a deliberate
 model change lands, regenerate the constants with the printed actuals.
 """
 
-import numpy as np
 import pytest
 
 from repro.graph.generators import kronecker

@@ -1,6 +1,5 @@
 """GroupBy rules: partitioning invariants and sharing improvement."""
 
-import numpy as np
 import pytest
 
 from repro.errors import GroupingError

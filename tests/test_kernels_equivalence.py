@@ -12,9 +12,10 @@ primitives themselves against their naive formulations.
 import numpy as np
 import pytest
 
-from repro.bfs.direction import DirectionPolicy
+from repro.plan import DirectionPolicy, HeuristicPolicy
 from repro.bfs.single import SingleBFS
 from repro.core.bitwise import BitwiseTraversal
+from repro.core.engine import IBFS, IBFSConfig
 from repro.core.joint import JointTraversal
 from repro.graph.generators import path, rmat, star, uniform_random
 from repro.kernels import (
@@ -92,6 +93,8 @@ class TestBitwiseEquivalence:
                 "vec2-pergroup",
                 dict(vector_width=2, direction_mode="per-group"),
             ),
+            ("vec2", dict(vector_width=2)),
+            ("vec4", dict(vector_width=4)),
             ("td-only", dict(policy=DirectionPolicy(allow_bottom_up=False))),
         ],
     )
@@ -155,6 +158,68 @@ class TestSingleEquivalence:
             assert live.record.counters.__dict__ == ref.record.counters.__dict__, label
             assert live.record.levels == ref.record.levels, label
             assert live.seconds == ref.seconds, label
+
+
+# ----------------------------------------------------------------------
+# Planner-driven engines vs the frozen references
+# ----------------------------------------------------------------------
+class TestPlannerEquivalence:
+    """The planner path must reproduce the frozen oracles exactly: an
+    explicitly constructed :class:`HeuristicPolicy` is the same
+    traversal as the legacy knobs it consolidated."""
+
+    @pytest.mark.parametrize("name", ["rmat9", "uni400", "star300"])
+    @pytest.mark.parametrize("vector_width", [2, 4])
+    def test_explicit_planner_vector_widths(self, graphs, name, vector_width):
+        graph = graphs[name]
+        sources = RNG.integers(0, graph.num_vertices, size=64).tolist()
+        planner = HeuristicPolicy(vector_width=vector_width)
+        assert_runs_equal(
+            BitwiseTraversal(graph, planner=planner).run_group(sources),
+            ReferenceBitwiseTraversal(
+                graph, vector_width=vector_width
+            ).run_group(sources),
+            f"{name}/planner-vw{vector_width}",
+        )
+
+    @pytest.mark.parametrize("name", ["rmat9", "uni400", "star300"])
+    def test_joint_under_planner(self, graphs, name):
+        graph = graphs[name]
+        sources = RNG.integers(0, graph.num_vertices, size=16).tolist()
+        assert_runs_equal(
+            JointTraversal(
+                graph, planner=HeuristicPolicy()
+            ).run_group(sources),
+            ReferenceJointTraversal(graph).run_group(sources),
+            f"{name}/joint-planner",
+        )
+
+    @pytest.mark.parametrize("mode", ["bitwise", "joint"])
+    def test_ibfs_random_grouping_matches_reference(self, graphs, mode):
+        graph = graphs["rmat9"]
+        sources = RNG.choice(
+            graph.num_vertices, size=48, replace=False
+        ).tolist()
+        engine = IBFS(
+            graph, IBFSConfig(group_size=16, mode=mode, groupby=False)
+        )
+        reference_cls = (
+            ReferenceBitwiseTraversal
+            if mode == "bitwise"
+            else ReferenceJointTraversal
+        )
+        reference = reference_cls(graph)
+        for group in engine.make_groups(sources):
+            result = engine.run_group(group)
+            ref_depths, ref_record, ref_stats = reference.run_group(
+                list(group)
+            )
+            label = f"rmat9/{mode}/no-groupby"
+            assert np.array_equal(result.depths, ref_depths), label
+            assert (
+                result.counters.__dict__ == ref_record.counters.__dict__
+            ), label
+            assert result.groups[0] == ref_stats, label
 
 
 # ----------------------------------------------------------------------

@@ -9,7 +9,6 @@ import numpy as np
 import pytest
 
 from repro.graph.generators import kronecker, uniform_random
-from repro.bfs.direction import Direction
 from repro.bfs.naive import NaiveConcurrentBFS
 from repro.bfs.sequential import SequentialConcurrentBFS
 from repro.core.engine import IBFS, IBFSConfig

@@ -1,0 +1,119 @@
+"""Unit tests of the planner's typed decisions and run plans."""
+
+import pickle
+
+import pytest
+
+from repro.errors import TraversalError
+from repro.plan import (
+    Direction,
+    KERNEL_VARIANTS,
+    LevelDecision,
+    RunPlan,
+    SNAPSHOT_STRATEGIES,
+    VECTOR_WIDTHS,
+)
+
+TD = Direction.TOP_DOWN
+BU = Direction.BOTTOM_UP
+
+
+def decision(**kwargs):
+    kwargs.setdefault("directions", (TD, TD, BU))
+    return LevelDecision(**kwargs)
+
+
+class TestLevelDecision:
+    def test_defaults(self):
+        d = decision()
+        assert d.kernel == "auto"
+        assert d.vector_width == 1
+        assert d.snapshot == "dirty"
+        assert d.early_termination is True
+
+    def test_counts(self):
+        d = decision()
+        assert d.num_instances == 3
+        assert d.top_down == 2
+        assert d.bottom_up == 1
+
+    def test_rejects_empty_directions(self):
+        with pytest.raises(TraversalError):
+            LevelDecision(directions=())
+
+    def test_rejects_non_direction_entries(self):
+        with pytest.raises(TraversalError):
+            LevelDecision(directions=("td", "bu"))
+
+    @pytest.mark.parametrize("width", [0, 3, 8, -1])
+    def test_rejects_bad_vector_width(self, width):
+        with pytest.raises(TraversalError):
+            decision(vector_width=width)
+
+    def test_rejects_bad_kernel(self):
+        with pytest.raises(TraversalError):
+            decision(kernel="warp")
+
+    def test_rejects_bad_snapshot(self):
+        with pytest.raises(TraversalError):
+            decision(snapshot="incremental")
+
+    @pytest.mark.parametrize("kernel", KERNEL_VARIANTS)
+    @pytest.mark.parametrize("width", VECTOR_WIDTHS)
+    @pytest.mark.parametrize("snapshot", SNAPSHOT_STRATEGIES)
+    def test_accepts_full_matrix(self, kernel, width, snapshot):
+        d = decision(kernel=kernel, vector_width=width, snapshot=snapshot)
+        assert d.kernel == kernel
+
+    def test_dict_round_trip(self):
+        d = decision(
+            kernel="generic",
+            vector_width=4,
+            snapshot="full",
+            early_termination=False,
+        )
+        assert LevelDecision.from_dict(d.to_dict()) == d
+
+    def test_from_dict_rejects_malformed(self):
+        with pytest.raises(TraversalError):
+            LevelDecision.from_dict({"directions": ["sideways"]})
+        with pytest.raises(TraversalError):
+            LevelDecision.from_dict({})
+
+
+class TestRunPlan:
+    def make_plan(self):
+        plan = RunPlan(policy="heuristic", engine="bitwise", group_size=3)
+        plan.append(decision())
+        plan.append(decision(directions=(BU, BU, BU), vector_width=2))
+        return plan
+
+    def test_len_and_iter(self):
+        plan = self.make_plan()
+        assert len(plan) == 2
+        assert [d.bottom_up for d in plan] == [1, 3]
+
+    def test_append_validates_instance_count(self):
+        plan = RunPlan(policy="p", engine="e", group_size=2)
+        with pytest.raises(TraversalError):
+            plan.append(decision())  # 3 instances into a 2-wide plan
+
+    def test_needs_bottom_up(self):
+        td_only = RunPlan(policy="p", engine="e", group_size=1)
+        td_only.append(LevelDecision(directions=(TD,)))
+        assert not td_only.needs_bottom_up
+        assert self.make_plan().needs_bottom_up
+
+    def test_json_round_trip(self):
+        plan = self.make_plan()
+        assert RunPlan.from_json(plan.to_json()) == plan
+
+    def test_pickle_round_trip(self):
+        plan = self.make_plan()
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_from_json_rejects_malformed(self):
+        with pytest.raises(TraversalError):
+            RunPlan.from_json("not json at all {")
+        with pytest.raises(TraversalError):
+            RunPlan.from_json('{"engine": "bitwise"}')

