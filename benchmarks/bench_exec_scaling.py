@@ -210,19 +210,13 @@ def main(argv=None):
         "results": results,
         "fault_injected": fault_entry,
     }
-    output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {output}")
 
+    failures = []
     if args.check:
-        failed = False
         if not fault_identical:
-            print("CHECK FAILED: fault-injected run diverged from serial",
-                  file=sys.stderr)
-            failed = True
+            failures.append("fault-injected run diverged from serial")
         if fault_stats.crashes < 1:
-            print("CHECK FAILED: injected crash never fired",
-                  file=sys.stderr)
-            failed = True
+            failures.append("injected crash never fired")
         if insufficient_cores:
             print(
                 f"check: host has {cpu_count} core(s); the "
@@ -230,14 +224,28 @@ def main(argv=None):
                 f"is skipped (recorded insufficient_cores)"
             )
         elif two_worker["speedup_vs_serial"] < args.min_speedup:
-            print(
-                f"CHECK FAILED: 2-worker speedup "
-                f"{two_worker['speedup_vs_serial']:.2f}x < "
-                f"{args.min_speedup:.1f}x",
-                file=sys.stderr,
+            failures.append(
+                f"2-worker speedup {two_worker['speedup_vs_serial']:.2f}x "
+                f"< {args.min_speedup:.1f}x"
             )
-            failed = True
-        if failed:
+        # The gate verdict travels with the numbers: a reader of the
+        # JSON sees what host ran it, whether the speedup gate applied,
+        # and what (if anything) failed — no CI log digging.
+        payload["check"] = {
+            "cpu_count": cpu_count,
+            "min_speedup": args.min_speedup,
+            "speedup_gate_enforced": not insufficient_cores,
+            "passed": not failures,
+            "failures": failures,
+        }
+
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+
+    if args.check:
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        if failures:
             return 1
         print("exec scaling check passed")
     return 0

@@ -23,7 +23,11 @@ deterministic GPU execution-model simulator:
 * :mod:`repro.exec` — real multi-process execution backend: BFS groups
   run concurrently on worker processes over a shared-memory graph, with
   work-stealing dispatch and worker fault tolerance, bit-identical to
-  the serial engine.
+  the serial engine;
+* :mod:`repro.dist` — partitioned distributed traversal: the graph is
+  split into 1D vertex-range or 2D edge-block partitions and traversed
+  level-synchronously with a dense/sparse frontier exchange, for graphs
+  too big for any single device — bit-identical to the serial engine.
 
 Quickstart
 ----------
@@ -123,6 +127,15 @@ from repro.exec import (
     FaultPolicy,
     GroupExecutor,
 )
+from repro.dist import (
+    CommCostModel,
+    DistConfig,
+    DistFaultPlan,
+    DistStats,
+    ExchangePolicy,
+    GraphPartitioner,
+    PartitionedEngine,
+)
 from repro.apps import (
     build_reachability_index,
     closeness_centrality,
@@ -216,5 +229,12 @@ __all__ = [
     "FaultPlan",
     "FaultPolicy",
     "GroupExecutor",
+    "CommCostModel",
+    "DistConfig",
+    "DistFaultPlan",
+    "DistStats",
+    "ExchangePolicy",
+    "GraphPartitioner",
+    "PartitionedEngine",
     "__version__",
 ]

@@ -113,11 +113,30 @@ def cmd_run(args: argparse.Namespace) -> int:
 
         tracer = obs.configure_tracing(process="cli")
         obs.configure_profiling(enabled=True)
+    if args.partitions > 0 and args.workers > 0:
+        print("error: --partitions and --workers are mutually exclusive "
+              "(partitioned traversal has its own process backend)",
+              file=sys.stderr)
+        return 2
     exec_stats = None
+    dist_stats = None
     root = tracer.start_span("run", graph=args.graph,
                              sources=len(sources)) if tracer else None
     try:
-        if args.workers > 0:
+        if args.partitions > 0:
+            from repro.dist import DistConfig, PartitionedEngine
+
+            dist_config = DistConfig(
+                num_partitions=args.partitions,
+                layout=args.layout,
+                group_size=args.group_size,
+                groupby=not args.no_groupby,
+                seed=config.seed,
+            )
+            with PartitionedEngine(graph, dist_config) as engine:
+                result = engine.run(sources, store_depths=False)
+                dist_stats = engine.last_stats
+        elif args.workers > 0:
             from repro.exec import ExecConfig, FaultPolicy, GroupExecutor
 
             exec_config = ExecConfig(
@@ -160,6 +179,16 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"steals/retries    : {exec_stats.steals}/{exec_stats.retries}")
         if exec_stats.degraded:
             print("warning           : pool lost; degraded to in-process")
+    if dist_stats is not None:
+        formats = ",".join(
+            f"{fmt}:{count}"
+            for fmt, count in sorted(dist_stats.formats().items())
+        )
+        print(f"dist backend      : {dist_stats.backend} "
+              f"({dist_stats.layout} x {dist_stats.num_partitions})")
+        print(f"exchange bytes    : {dist_stats.bytes_total:,} "
+              f"({dist_stats.messages_total} messages)")
+        print(f"exchange formats  : {formats or '-'}")
     return 0
 
 
@@ -305,6 +334,8 @@ def _serving_config(args: argparse.Namespace) -> "ServingConfig":
         cache_capacity=args.cache_capacity,
         num_devices=args.devices,
         groupby=not args.no_groupby,
+        partitions=getattr(args, "partitions", 0),
+        partition_layout=getattr(args, "layout", "1d"),
     )
 
 
@@ -344,6 +375,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     graph = _load_graph(args.graph)
     serving = _serving_config(args)
+    if serving.partitions > 0 and getattr(args, "workers", 0) > 0:
+        print("error: --partitions and --workers are mutually exclusive "
+              "(partitioned batches do not run on the replica pool)",
+              file=sys.stderr)
+        return 2
     planner = make_policy(args.policy) if args.policy else None
     executor = None
     if getattr(args, "workers", 0) > 0:
@@ -357,12 +393,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
             ),
             planner=planner,
         )
+    server = None
     try:
         server = BFSServer(
             graph, serving, executor=executor, planner=planner
         )
         result = run_closed_loop(server, _workload_config(args))
     finally:
+        if server is not None:
+            server.close()
         if executor is not None:
             executor.close()
     _print_load_result(
@@ -459,6 +498,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=0,
                      help="worker processes for the real execution "
                           "backend (0 = in-process, the default)")
+    run.add_argument("--partitions", type=int, default=0,
+                     help="split the graph across this many partitions "
+                          "and traverse with the distributed engine "
+                          "(0 = whole-graph, the default)")
+    run.add_argument("--layout", choices=("1d", "2d"), default="1d",
+                     help="partition layout (with --partitions)")
     run.add_argument("--scheduler", choices=("steal", "lpt", "round_robin"),
                      default="steal",
                      help="group dispatch policy (with --workers)")
@@ -570,6 +615,12 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("steal", "lpt", "round_robin"),
                        default="steal",
                        help="group dispatch policy (with --workers)")
+    serve.add_argument("--partitions", type=int, default=0,
+                       help="serve batches on the partitioned engine "
+                            "over this many graph partitions (0 = "
+                            "whole-graph, the default)")
+    serve.add_argument("--layout", choices=("1d", "2d"), default="1d",
+                       help="partition layout (with --partitions)")
     serve.set_defaults(func=cmd_serve)
 
     bench = sub.add_parser(

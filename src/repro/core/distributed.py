@@ -98,6 +98,13 @@ class DistributedIBFS:
       with bit-identical results; the simulated makespan is computed
       from the same per-group simulated times, and the real wall clock
       plus executor stats land on the result.
+    * ``"partitioned"`` — the graph itself is split across the devices
+      (:class:`repro.dist.engine.PartitionedEngine`, one partition per
+      device), so graphs too big for any single device still run; every
+      group uses the whole cluster, the makespan is the sum of the
+      comm-model group times, ``assignment`` is the ``-1`` sentinel
+      (groups are not placed on single devices), and the per-level
+      exchange stats land in ``exec_stats``.
     """
 
     def __init__(
@@ -110,18 +117,42 @@ class DistributedIBFS:
         backend: str = "sim",
         num_workers: Optional[int] = None,
         exec_config: Optional[object] = None,
+        dist_config: Optional[object] = None,
     ) -> None:
         if num_devices <= 0:
             raise SimulationError("num_devices must be positive")
-        if backend not in ("sim", "process"):
+        if backend not in ("sim", "process", "partitioned"):
             raise SimulationError(
-                f"unknown backend {backend!r}; expected 'sim' or 'process'"
+                f"unknown backend {backend!r}; "
+                f"expected 'sim', 'process', or 'partitioned'"
             )
         self.graph = graph
         self.num_devices = num_devices
         self.device_config = device_config or KEPLER_K20
         self.scheduler = scheduler
         self.backend = backend
+        self._partitioned = None
+        if backend == "partitioned":
+            # The partitioned engine replaces replication: each device
+            # holds one partition, so the whole-graph fits() check does
+            # not apply — that is the point of this backend.
+            from repro.dist.engine import DistConfig, PartitionedEngine
+
+            base = config or IBFSConfig()
+            self._partitioned = PartitionedEngine(
+                graph,
+                dist_config
+                or DistConfig(
+                    num_partitions=num_devices,
+                    group_size=base.group_size,
+                    groupby=base.groupby,
+                    groupby_config=base.groupby_config,
+                    seed=base.seed,
+                ),
+            )
+            self.engine = self._partitioned
+            self._executor = None
+            return
         self.engine = IBFS(
             graph,
             config or IBFSConfig(),
@@ -146,9 +177,11 @@ class DistributedIBFS:
             )
 
     def close(self) -> None:
-        """Tear down the process backend (no-op for ``sim``)."""
+        """Tear down the process/partitioned backends (no-op for ``sim``)."""
         if self._executor is not None:
             self._executor.close()
+        if self._partitioned is not None:
+            self._partitioned.close()
 
     def __enter__(self) -> "DistributedIBFS":
         return self
@@ -163,6 +196,12 @@ class DistributedIBFS:
         store_depths: bool,
     ):
         """Execute all groups; returns (result, wall, exec_stats)."""
+        if self._partitioned is not None:
+            local = self._partitioned.run(
+                sources, max_depth=max_depth, store_depths=store_depths
+            )
+            stats = self._partitioned.last_stats
+            return local, stats.wall_seconds, stats
         if self._executor is not None:
             import time
 
@@ -194,6 +233,24 @@ class DistributedIBFS:
             local, wall, exec_stats = self._run_local(
                 sources, max_depth, store_depths
             )
+            if self._partitioned is not None:
+                # Groups execute one after another, each spanning every
+                # partition, so the makespan is the sum of group times
+                # and no group is placed on a single device.
+                return DistributedResult(
+                    local=local,
+                    num_devices=self.num_devices,
+                    makespan=local.seconds,
+                    device_times=np.full(
+                        self.num_devices, local.seconds, dtype=np.float64
+                    ),
+                    assignment=np.full(
+                        len(local.groups), -1, dtype=np.int64
+                    ),
+                    backend=self.backend,
+                    wall_seconds=wall,
+                    exec_stats=exec_stats,
+                )
             durations = local.group_times()
             cluster = Cluster(
                 self.num_devices, self.device_config, self.scheduler
@@ -220,6 +277,12 @@ class DistributedIBFS:
         Runs the traversal once and re-schedules the measured group
         times, which is exactly what varying the cluster size does.
         """
+        if self._partitioned is not None:
+            raise SimulationError(
+                "strong_scaling re-schedules whole groups across devices; "
+                "the partitioned backend spans every device per group — "
+                "construct one DistributedIBFS per partition count instead"
+            )
         local, wall, exec_stats = self._run_local(sources, None, False)
         durations = local.group_times()
         results = []

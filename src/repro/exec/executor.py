@@ -64,9 +64,11 @@ from repro.exec.scheduler import (
 )
 from repro.exec.shm import (
     discard_array,
+    discard_segment,
     pop_array,
     publish_graph,
     release_graph,
+    result_segment_name,
     shared_memory_available,
 )
 from repro.exec.worker import EngineSpec, ObsSpec, worker_main
@@ -255,6 +257,12 @@ class GroupExecutor:
         #: a straggler reply from an earlier run is identified (and its
         #: shared-memory payload reclaimed) by its epoch alone.
         self._epoch = 0
+        #: Result-segment names allocated for in-flight dispatches.
+        #: Names are parent-generated (:func:`result_segment_name`), so
+        #: a worker that dies after pushing its depth matrix but before
+        #: replying cannot orphan a segment — whatever is still listed
+        #: here is reclaimed on fault resolution and pool teardown.
+        self._pending_segments: set = set()
         #: Stats of the most recent run/map_groups call.
         self.last_stats: Optional[ExecStats] = None
 
@@ -310,6 +318,12 @@ class GroupExecutor:
             except Exception:  # pragma: no cover
                 pass
             self._result_queue = None
+        # Workers are dead and the queue is drained: any name still
+        # pending belongs to a reply that never arrived — a crash
+        # between push_array and the reply put — so unlink it now,
+        # before the graph segments go, to leave /dev/shm clean.
+        for name in list(self._pending_segments):
+            self._reclaim_segment(name)
         if self._handle is not None:
             release_graph(self._handle)
             self._handle = None
@@ -328,6 +342,7 @@ class GroupExecutor:
             except (queue_mod.Empty, OSError, ValueError):
                 return
             if message and message[0] == "ok" and message[5] is not None:
+                self._pending_segments.discard(message[5].name)
                 try:
                     discard_array(message[5])
                 except Exception:  # pragma: no cover - best effort
@@ -601,8 +616,11 @@ class GroupExecutor:
         outcomes: List[Optional[object]] = [None] * n
         attempts = [0] * n
         pending = set(range(n))
-        #: worker_id -> (task_id, attempt, started, dispatch_span).
-        busy: Dict[int, Tuple[int, int, float, Optional[object]]] = {}
+        #: worker_id -> (task_id, attempt, started, dispatch_span,
+        #: result_name).
+        busy: Dict[
+            int, Tuple[int, int, float, Optional[object], Optional[str]]
+        ] = {}
 
         def fail_task(task_id: int, error: ReproError) -> None:
             if policy.fail_fast or not collect_errors:
@@ -666,6 +684,13 @@ class GroupExecutor:
                 attempt=attempts[task_id],
                 group_size=len(task.group),
             )
+            # Name the result segment in the parent so it survives —
+            # and can be reclaimed after — a worker crash between
+            # push_array and the reply.
+            result_name = None
+            if task.want_depths and self.exec_config.shared_depths:
+                result_name = result_segment_name()
+                self._pending_segments.add(result_name)
             self._workers[worker_id].task_queue.put(
                 (
                     self._epoch,
@@ -676,10 +701,12 @@ class GroupExecutor:
                     task.want_depths,
                     task.plan,
                     span.context if span is not None else None,
+                    result_name,
                 )
             )
             busy[worker_id] = (
-                task_id, attempts[task_id], time.perf_counter(), span
+                task_id, attempts[task_id], time.perf_counter(), span,
+                result_name,
             )
             stats.per_worker_tasks[worker_id] = (
                 stats.per_worker_tasks.get(worker_id, 0) + 1
@@ -720,9 +747,11 @@ class GroupExecutor:
                 # finished attempt; ingesting them would duplicate the
                 # retry's — drop the whole reply.
                 if depth_spec is not None:
+                    self._pending_segments.discard(depth_spec.name)
                     discard_array(depth_spec)
                 return
             if depth_spec is not None:
+                self._pending_segments.discard(depth_spec.name)
                 depths = pop_array(depth_spec)
             outcomes[task_id] = (depths, counters, gstats)
             pending.discard(task_id)
@@ -740,9 +769,10 @@ class GroupExecutor:
                 or attempt != attempts[task_id]
             ):
                 return
-            self._finish_dispatch(
-                busy.pop(worker_id, None), status="error", error=detail
-            )
+            entry = busy.pop(worker_id, None)
+            self._finish_dispatch(entry, status="error", error=detail)
+            if entry is not None:
+                self._reclaim_segment(entry[4])
             tracer.ingest(spans)
             stats.task_errors += 1
             event = log.record(
@@ -773,6 +803,10 @@ class GroupExecutor:
                 stats.crashes += 1
                 detail = f"exitcode {worker.process.exitcode}"
                 self._finish_dispatch(entry, status="error", error=detail)
+                # The worker may have pushed its result segment before
+                # dying; the parent named it, so it can be unlinked
+                # without ever seeing the reply.
+                self._reclaim_segment(entry[4])
                 event = log.record(
                     "crash",
                     task_id=task_id,
@@ -795,7 +829,7 @@ class GroupExecutor:
             return
         now = time.perf_counter()
         for worker_id in list(busy):
-            task_id, attempt, started, _ = busy[worker_id]
+            task_id, attempt, started = busy[worker_id][:3]
             if now - started <= policy.task_timeout:
                 continue
             entry = busy.pop(worker_id)
@@ -813,12 +847,25 @@ class GroupExecutor:
             worker = self._workers[worker_id]
             worker.process.terminate()
             worker.process.join(timeout=1.0)
+            # Killed after a possible push: reclaim by name.
+            self._reclaim_segment(entry[4])
             self._replace_worker(worker_id, stats, log)
             task_failed(
                 task_id,
                 attempt,
                 lambda: timeout_error(task_id, worker_id, attempt),
             )
+
+    def _reclaim_segment(self, name: Optional[str]) -> None:
+        """Unlink one pre-allocated result segment and forget it; a
+        no-op when the worker never got as far as creating it."""
+        if not name:
+            return
+        self._pending_segments.discard(name)
+        try:
+            discard_segment(name)
+        except Exception:  # pragma: no cover - best effort
+            pass
 
     def _replace_worker(self, worker_id: int, stats, log) -> None:
         """Respawn a dead worker within budget; drop it otherwise."""

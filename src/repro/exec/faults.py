@@ -52,6 +52,11 @@ class FaultPlan:
     error: Mapping[int, int] = field(default_factory=dict)
     #: Attempts to hang (sleep) so the parent's task timeout fires.
     hang: Mapping[int, int] = field(default_factory=dict)
+    #: Attempts to terminate the worker *after* it has pushed its
+    #: result segment but before the reply is enqueued — the window
+    #: where a crash would orphan shared memory the parent has no spec
+    #: for (the teardown-reclamation regression).
+    crash_after_result: Mapping[int, int] = field(default_factory=dict)
     #: How long a hung attempt sleeps; keep above the task timeout.
     hang_seconds: float = 30.0
 
@@ -66,9 +71,16 @@ class FaultPlan:
                 f"injected fault: task {task_id} attempt {attempt}"
             )
 
+    def apply_after_result(self, task_id: int, attempt: int) -> None:
+        """Run in the worker between result publication and the reply."""
+        if attempt < self.crash_after_result.get(task_id, 0):
+            os._exit(CRASH_EXIT_CODE)
+
     @property
     def empty(self) -> bool:
-        return not (self.crash or self.error or self.hang)
+        return not (
+            self.crash or self.error or self.hang or self.crash_after_result
+        )
 
 
 @dataclass(frozen=True)

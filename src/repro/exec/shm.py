@@ -131,13 +131,13 @@ def _segment_name(tag: str) -> str:
     return f"repro-{tag}-{os.getpid():x}-{secrets.token_hex(4)}"
 
 
-def _create_segment(arr: np.ndarray, tag: str):
+def _create_segment(arr: np.ndarray, tag: str, name: str = None):
     shm_mod = _require_shm()
     arr = np.ascontiguousarray(arr)
     nbytes = max(int(arr.nbytes), 1)
     with _untracked():
         shm = shm_mod.SharedMemory(
-            name=_segment_name(tag), create=True, size=nbytes
+            name=name or _segment_name(tag), create=True, size=nbytes
         )
     if arr.nbytes:
         view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
@@ -334,9 +334,24 @@ def attach_graph(handle: SharedGraphHandle) -> AttachedGraph:
 # ----------------------------------------------------------------------
 # One-shot array transport (task results)
 # ----------------------------------------------------------------------
-def push_array(arr: np.ndarray) -> SharedArraySpec:
-    """Copy one array into a fresh segment; the receiver owns cleanup."""
-    shm, spec = _create_segment(np.ascontiguousarray(arr), "out")
+def result_segment_name() -> str:
+    """Pre-allocate a segment name for :func:`push_array`.
+
+    Generated by the *receiver* before the sender runs, so a sender
+    that dies between creating the segment and reporting its spec
+    cannot orphan a segment nobody can name — the receiver reclaims it
+    with :func:`discard_segment` unconditionally.
+    """
+    return _segment_name("out")
+
+
+def push_array(arr: np.ndarray, name: str = None) -> SharedArraySpec:
+    """Copy one array into a fresh segment; the receiver owns cleanup.
+
+    ``name`` pins the segment name (see :func:`result_segment_name`);
+    without it a fresh unique name is generated.
+    """
+    shm, spec = _create_segment(np.ascontiguousarray(arr), "out", name=name)
     # Close our mapping but do NOT unlink: pop_array() unlinks after
     # copying the payload out on the receiving side.
     shm.close()
@@ -354,10 +369,20 @@ def pop_array(spec: SharedArraySpec) -> np.ndarray:
 
 def discard_array(spec: SharedArraySpec) -> None:
     """Unlink a pushed array without reading it (stale/duplicate result)."""
+    discard_segment(spec.name)
+
+
+def discard_segment(name: str) -> None:
+    """Unlink a segment by name alone; a no-op when it does not exist.
+
+    This is the crash-cleanup path: the receiver knows the names it
+    pre-allocated (:func:`result_segment_name`) even when the sender
+    died before shipping the spec back.
+    """
     shm_mod = _require_shm()
     try:
         with _untracked():
-            shm = shm_mod.SharedMemory(name=spec.name, create=False)
+            shm = shm_mod.SharedMemory(name=name, create=False)
     except FileNotFoundError:
         return
     _destroy_segment(shm)

@@ -4,7 +4,11 @@ Each worker attaches the shared-memory graph once, builds its own
 :class:`~repro.core.engine.IBFS` engine (bit-identical to the parent's:
 same config, device model, and direction policy), and then loops on its
 task queue.  A task is ``(epoch, task_id, attempt, group, max_depth,
-want_depths, plan, trace_ctx)`` — ``plan`` is an optional recorded
+want_depths, plan, trace_ctx, result_name)`` — ``result_name`` is the
+parent-allocated shared-memory segment name the depth matrix must be
+pushed under (``None`` when depths travel inline), so the parent can
+reclaim the segment even if this worker dies before replying —
+``plan`` is an optional recorded
 :class:`~repro.plan.types.RunPlan` replayed instead of re-running the
 planner heuristics, and the :class:`~repro.core.result.GroupStats` in
 the reply carries the plan the engine actually executed.  The reply on
@@ -131,7 +135,7 @@ def worker_main(
             if message is None:
                 break
             (epoch, task_id, attempt, group, max_depth, want_depths,
-             replay_plan, trace_ctx) = message
+             replay_plan, trace_ctx, result_name) = message
             start = time.perf_counter()
             spans: List[Tuple] = []
             try:
@@ -160,9 +164,12 @@ def worker_main(
                 depths = None
                 if want_depths:
                     if shared_depths:
-                        depth_spec = push_array(result.depths)
+                        depth_spec = push_array(
+                            result.depths, name=result_name
+                        )
                     else:
                         depths = result.depths
+                plan.apply_after_result(task_id, attempt)
                 result_queue.put(
                     (
                         "ok",

@@ -20,6 +20,7 @@ from repro.plan.policy import (
 )
 from repro.plan.presets import POLICY_NAMES, make_policy
 from repro.plan.types import (
+    EXCHANGE_FORMATS,
     KERNEL_VARIANTS,
     SNAPSHOT_STRATEGIES,
     VECTOR_WIDTHS,
@@ -34,6 +35,7 @@ __all__ = [
     "DIRECTION_MODES",
     "Direction",
     "DirectionPolicy",
+    "EXCHANGE_FORMATS",
     "FixedPolicy",
     "HeuristicPolicy",
     "KERNEL_VARIANTS",

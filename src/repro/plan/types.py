@@ -44,6 +44,16 @@ SNAPSHOT_STRATEGIES = ("dirty", "full")
 #: CUDA vector data types of section 6 (long/long2/long4).
 VECTOR_WIDTHS = (1, 2, 4)
 
+#: Frontier-exchange wire formats for the partitioned distributed
+#: engine (:mod:`repro.dist`): ``"dense"`` ships one status bitmap word
+#: per destination-range vertex, ``"sparse"`` ships ``(vertex, mask)``
+#: pairs for touched vertices only, and ``"auto"`` lets the exchange
+#: policy pick per level — the communication counterpart of the
+#: top-down/bottom-up direction switch.  Single-process engines ignore
+#: the field (like ``snapshot``, it never changes depths or simulated
+#: traversal counters).
+EXCHANGE_FORMATS = ("auto", "dense", "sparse")
+
 
 class Direction(enum.Enum):
     """Traversal direction of one BFS level."""
@@ -73,6 +83,13 @@ class LevelDecision:
         on simulated counters.
     early_termination:
         Arm bottom-up early termination for this level.
+    exchange:
+        Frontier-exchange wire format for this level (one of
+        :data:`EXCHANGE_FORMATS`); consumed by the partitioned
+        distributed engine, ignored by single-process engines.  Plans
+        recorded by :class:`repro.dist.engine.PartitionedEngine` hold
+        the *resolved* format (never ``"auto"``) so replay re-sends
+        exactly the recorded bytes.
     """
 
     directions: Tuple[Direction, ...]
@@ -80,6 +97,7 @@ class LevelDecision:
     vector_width: int = 1
     snapshot: str = "dirty"
     early_termination: bool = True
+    exchange: str = "auto"
 
     def __post_init__(self) -> None:
         if not self.directions:
@@ -103,6 +121,11 @@ class LevelDecision:
                 f"snapshot must be one of {SNAPSHOT_STRATEGIES}; "
                 f"got {self.snapshot!r}"
             )
+        if self.exchange not in EXCHANGE_FORMATS:
+            raise TraversalError(
+                f"exchange must be one of {EXCHANGE_FORMATS}; "
+                f"got {self.exchange!r}"
+            )
 
     @property
     def num_instances(self) -> int:
@@ -125,6 +148,7 @@ class LevelDecision:
             "vector_width": self.vector_width,
             "snapshot": self.snapshot,
             "early_termination": self.early_termination,
+            "exchange": self.exchange,
         }
 
     @classmethod
@@ -141,6 +165,7 @@ class LevelDecision:
             vector_width=int(payload.get("vector_width", 1)),
             snapshot=payload.get("snapshot", "dirty"),
             early_termination=bool(payload.get("early_termination", True)),
+            exchange=payload.get("exchange", "auto"),
         )
 
 

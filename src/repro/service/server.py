@@ -102,6 +102,15 @@ class ServingConfig:
         batches; off, batches are FIFO chunks (the random baseline).
     return_depths:
         Attach full depth rows to ``"bfs"`` responses.
+    partitions:
+        When positive, batches traverse the
+        :class:`~repro.dist.engine.PartitionedEngine` over this many
+        graph partitions instead of the whole-graph engine — the path
+        for graphs too big for a single device.  Depths stay
+        bit-identical; only the execution substrate (and the exchange
+        metrics it emits) changes.  Incompatible with ``executor``.
+    partition_layout:
+        Partition layout (``"1d"`` or ``"2d"``) when ``partitions > 0``.
     """
 
     batch_size: int = 32
@@ -115,6 +124,8 @@ class ServingConfig:
     cache_hit_latency: float = 1e-7
     groupby: bool = True
     return_depths: bool = False
+    partitions: int = 0
+    partition_layout: str = "1d"
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
@@ -135,6 +146,13 @@ class ServingConfig:
             raise ServiceError("max_attempts must be positive")
         if self.cache_hit_latency < 0:
             raise ServiceError("cache_hit_latency must be non-negative")
+        if self.partitions < 0:
+            raise ServiceError("partitions must be non-negative")
+        if self.partition_layout not in ("1d", "2d"):
+            raise ServiceError(
+                f"unknown partition_layout {self.partition_layout!r}; "
+                f"expected '1d' or '2d'"
+            )
 
 
 class BFSServer:
@@ -160,6 +178,33 @@ class BFSServer:
         self.engine = IBFS(
             graph, engine_config, device=device, policy=policy, planner=planner
         )
+        #: Partitioned execution substrate
+        #: (:class:`~repro.dist.engine.PartitionedEngine`): when
+        #: ``serving.partitions > 0`` batches traverse it instead of the
+        #: whole-graph engine — how the server dispatches graphs too big
+        #: for one device.  Bit-identical depths either way.
+        self.partitioned = None
+        if self.serving.partitions > 0:
+            if executor is not None:
+                raise ServiceError(
+                    "executor and partitions are mutually exclusive: "
+                    "executor workers replicate the whole graph, which is "
+                    "exactly what partitioned dispatch avoids"
+                )
+            # Imported lazily: repro.dist depends on repro.core.
+            from repro.dist.engine import DistConfig, PartitionedEngine
+
+            self.partitioned = PartitionedEngine(
+                graph,
+                DistConfig(
+                    num_partitions=self.serving.partitions,
+                    layout=self.serving.partition_layout,
+                    group_size=engine_config.group_size,
+                    groupby=engine_config.groupby,
+                    groupby_config=engine_config.groupby_config,
+                    seed=engine_config.seed,
+                ),
+            )
         #: Optional multi-process backend: batches that become ready at
         #: the same simulated instant (one per free device) execute as
         #: one concurrent wave on the executor's worker pool instead of
@@ -170,7 +215,8 @@ class BFSServer:
             self._check_executor(executor)
         #: Effective max batch size (configured, clamped by capacity).
         self.batch_size = min(
-            self.serving.batch_size, self.engine.effective_group_size()
+            self.serving.batch_size,
+            (self.partitioned or self.engine).effective_group_size(),
         )
         self.batcher = MicroBatcher(
             graph,
@@ -191,6 +237,10 @@ class BFSServer:
         self._engine_key = engine_cache_key(
             self.engine.config, self.engine.planner.name
         )
+        if self.partitioned is not None:
+            # Partitioned plans carry exchange formats a whole-graph
+            # replay would ignore; keep the cache namespaces apart.
+            self._engine_key = f"{self._engine_key}+{self.partitioned.name}"
         self._device_free = [0.0] * self.serving.num_devices
         self._completed: List[Response] = []
         self._next_id = 0
@@ -212,6 +262,18 @@ class BFSServer:
                 "batches would traverse under a different configuration "
                 "than responses are cached and keyed for"
             )
+
+    def close(self) -> None:
+        """Release the partitioned substrate (the ``executor``, when
+        given, is caller-owned and left alone)."""
+        if self.partitioned is not None:
+            self.partitioned.close()
+
+    def __enter__(self) -> "BFSServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Client surface
@@ -467,7 +529,7 @@ class BFSServer:
                 plan = self.plan_cache.get(self._plan_key(sources, max_depth))
                 if span is not None:
                     span.annotate(plan_cached=plan is not None)
-                result = self.engine.run_group(
+                result = (self.partitioned or self.engine).run_group(
                     sources, max_depth=max_depth, plan=plan
                 )
         except ReproError as exc:

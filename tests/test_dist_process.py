@@ -1,0 +1,169 @@
+"""Process backend: one worker per partition, crashes, respawn, degrade.
+
+The process backend runs the exact :class:`PartitionState` compute the
+inline backend uses, so every scenario here — clean runs, injected
+crashes mid-expand, respawn-budget exhaustion — must end with the same
+depth matrix the serial engine produces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkerCrashError
+from repro.graph.generators import kronecker
+from repro.core.engine import IBFS, IBFSConfig
+from repro.exec.faults import FaultPolicy
+from repro.exec.shm import shared_memory_available
+from repro.dist.engine import DistConfig, PartitionedEngine
+from repro.dist.procs import DistFaultPlan
+
+needs_shm = pytest.mark.skipif(
+    not shared_memory_available(),
+    reason="multiprocessing.shared_memory unavailable",
+)
+
+GROUP_SIZE = 8
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return kronecker(scale=7, edge_factor=8, seed=9)
+
+
+@pytest.fixture(scope="module")
+def group(graph):
+    engine = IBFS(graph, IBFSConfig(group_size=GROUP_SIZE))
+    return engine.make_groups(list(range(24)))[0]
+
+
+@pytest.fixture(scope="module")
+def expected(graph, group):
+    return IBFS(graph, IBFSConfig(group_size=GROUP_SIZE)).run_group(group)
+
+
+def process_engine(graph, **overrides):
+    overrides.setdefault("num_partitions", 2)
+    overrides.setdefault("group_size", GROUP_SIZE)
+    return PartitionedEngine(
+        graph, DistConfig(backend="process", **overrides)
+    )
+
+
+@needs_shm
+class TestProcessEquivalence:
+    @pytest.mark.parametrize("layout", ["1d", "2d"])
+    def test_matches_serial(self, graph, group, expected, layout):
+        with process_engine(
+            graph, num_partitions=4, layout=layout
+        ) as engine:
+            result = engine.run_group(group)
+        assert np.array_equal(result.depths, expected.depths)
+        assert engine.last_stats.backend == "process"
+
+    def test_matches_inline_byte_accounting(self, graph, group):
+        """Both backends run the same PartitionState, so even the
+        per-level wire bytes agree, not just the depths."""
+        with process_engine(graph) as engine:
+            engine.run_group(group)
+            process_levels = [
+                (t.fmt, t.nbytes, t.messages, t.entries)
+                for t in engine.last_stats.levels
+            ]
+        inline = PartitionedEngine(
+            graph,
+            DistConfig(num_partitions=2, group_size=GROUP_SIZE),
+        )
+        inline.run_group(group)
+        inline_levels = [
+            (t.fmt, t.nbytes, t.messages, t.entries)
+            for t in inline.last_stats.levels
+        ]
+        assert process_levels == inline_levels
+
+    def test_reusable_across_groups(self, graph):
+        serial = IBFS(graph, IBFSConfig(group_size=GROUP_SIZE))
+        groups = serial.make_groups(list(range(32)))
+        with process_engine(graph) as engine:
+            for g in groups:
+                result = engine.run_group(g)
+                assert np.array_equal(
+                    result.depths, serial.run_group(g).depths
+                )
+
+
+@needs_shm
+class TestCrashRecovery:
+    def test_crash_respawns_and_matches_serial(self, graph, group, expected):
+        with process_engine(
+            graph,
+            fault_plan=DistFaultPlan(crash={0: 1}, level=1),
+            faults=FaultPolicy(max_retries=2, respawn_limit=2),
+        ) as engine:
+            result = engine.run_group(group)
+            stats = engine.last_stats
+        assert np.array_equal(result.depths, expected.depths)
+        assert stats.crashes == 1
+        assert stats.respawns == 1
+        assert stats.retries == 1
+        assert not stats.degraded
+
+    def test_repeated_crashes_within_budget(self, graph, group, expected):
+        with process_engine(
+            graph,
+            fault_plan=DistFaultPlan(crash={1: 2}, level=0),
+            faults=FaultPolicy(max_retries=3, respawn_limit=4),
+        ) as engine:
+            result = engine.run_group(group)
+            stats = engine.last_stats
+        assert np.array_equal(result.depths, expected.depths)
+        assert stats.crashes == 2
+        assert stats.respawns == 2
+
+    def test_fail_fast_raises(self, graph, group):
+        with process_engine(
+            graph,
+            fault_plan=DistFaultPlan(crash={0: 1}),
+            faults=FaultPolicy(fail_fast=True),
+        ) as engine:
+            with pytest.raises(WorkerCrashError):
+                engine.run_group(group)
+        assert engine.last_stats is None
+
+    def test_retry_budget_exhaustion_raises(self, graph, group):
+        with process_engine(
+            graph,
+            fault_plan=DistFaultPlan(crash={0: 99}),
+            faults=FaultPolicy(max_retries=2, respawn_limit=8),
+        ) as engine:
+            with pytest.raises(WorkerCrashError):
+                engine.run_group(group)
+
+    def test_respawn_exhausted_degrades_to_inline(
+        self, graph, group, expected
+    ):
+        """No respawn budget left: the engine finishes the group on the
+        inline backend instead of failing — same depths by
+        construction."""
+        with process_engine(
+            graph,
+            fault_plan=DistFaultPlan(crash={0: 1}),
+            faults=FaultPolicy(max_retries=2, respawn_limit=0),
+        ) as engine:
+            result = engine.run_group(group)
+            stats = engine.last_stats
+        assert np.array_equal(result.depths, expected.depths)
+        assert stats.degraded
+        assert stats.crashes == 1
+        assert stats.respawns == 0
+
+    def test_fault_events_logged(self, graph, group):
+        with process_engine(
+            graph,
+            fault_plan=DistFaultPlan(crash={0: 1}),
+            faults=FaultPolicy(max_retries=2, respawn_limit=2),
+        ) as engine:
+            engine.run_group(group)
+            kinds = [e.kind for e in engine.last_stats.events]
+        assert "crash" in kinds
+        assert "retry" in kinds
+        assert "respawn" in kinds
