@@ -3,18 +3,29 @@
 
 Unlike the ``bench_fig*`` suite, which reports *simulated* metrics,
 this harness measures real host wall time: each configuration runs the
-live engine (built on :mod:`repro.kernels`) and the frozen pre-kernels
-reference engine (:mod:`repro.kernels.reference`) on the same graph and
-sources, takes the best of ``--repeats`` runs, and reports traversed
-edges per second for both plus the speedup.  The simulated counters of
-the two engines are asserted equal on every run, so a speedup can never
-come from doing different work.
+live engine (built on :mod:`repro.kernels`) and a baseline on the same
+graph and sources, takes the best of ``--repeats`` runs, and reports
+traversed edges per second for both plus the speedup.  The simulated
+counters of the two engines are asserted equal on every run, so a
+speedup can never come from doing different work.
 
-Results are written to ``BENCH_core.json`` at the repo root (or
-``--output``).  ``--check BENCH_core.json`` re-runs the measurement and
-fails (exit 1) if any configuration's speedup dropped below half the
-committed value — a >2x TEPS regression relative to the recorded
-baseline, expressed as a ratio so the check is machine-independent.
+``--backend`` picks the comparison:
+
+``numpy`` (default)
+    live kernels engine vs the frozen pre-kernels reference engine
+    (:mod:`repro.kernels.reference`) — the PR 2 measurement, written to
+    ``BENCH_core.json``.
+``native``
+    live engine with the compiled backend (:mod:`repro.native`) vs the
+    same engine pinned to the numpy kernels — written to
+    ``BENCH_native.json``.  ``native.warmup()`` runs once before any
+    timing so JIT/compile cost is excluded, and the run fails outright
+    if native is slower than numpy on any configuration.
+
+``--check <baseline.json>`` re-runs the measurement and fails (exit 1)
+if any configuration's speedup dropped below half the committed value —
+a >2x TEPS regression relative to the recorded baseline, expressed as a
+ratio so the check is machine-independent.
 
 Usage::
 
@@ -22,11 +33,14 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_kernel_walltime.py --quick  # CI
     PYTHONPATH=src python benchmarks/bench_kernel_walltime.py --quick \
         --check BENCH_core.json
+    PYTHONPATH=src python benchmarks/bench_kernel_walltime.py \
+        --backend native --quick --check BENCH_native.json
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 import time
@@ -34,6 +48,7 @@ from pathlib import Path
 
 import numpy as np
 
+import repro.native as native
 from repro.core.bitwise import BitwiseTraversal
 from repro.core.joint import JointTraversal
 from repro.graph.generators import rmat
@@ -88,16 +103,23 @@ ENGINE_PAIRS = {
 }
 
 
-def time_engine(make_engine, graph, sources, repeats):
-    """Best-of-``repeats`` wall time plus the run's traversed edges."""
+def time_engine(make_engine, graph, sources, repeats, ctx=None):
+    """Best-of-``repeats`` wall time plus the run's traversed edges.
+
+    ``ctx`` is an optional context-manager factory entered around every
+    construction+run (the native harness pins the kernel backend with
+    it); engine setup stays inside the timed region as before.
+    """
+    ctx = ctx or contextlib.nullcontext
     best = float("inf")
     edges = None
     counters = None
     for _ in range(repeats):
-        engine = make_engine(graph)
-        start = time.perf_counter()
-        _, record, _ = engine.run_group(sources)
-        elapsed = time.perf_counter() - start
+        with ctx():
+            engine = make_engine(graph)
+            start = time.perf_counter()
+            _, record, _ = engine.run_group(sources)
+            elapsed = time.perf_counter() - start
         if elapsed < best:
             best = elapsed
         edges = record.counters.edges_traversed
@@ -105,17 +127,23 @@ def time_engine(make_engine, graph, sources, repeats):
     return best, edges, counters
 
 
-def run_config(name, scale, edge_factor, group_size, kind, repeats):
+def run_config(name, scale, edge_factor, group_size, kind, repeats,
+               backend="numpy"):
     graph = rmat(scale, edge_factor=edge_factor, seed=3)
     rng = np.random.default_rng(SOURCE_SEED)
     sources = rng.integers(0, graph.num_vertices, size=group_size).tolist()
     make_after, make_before = ENGINE_PAIRS[kind]
+    after_ctx = before_ctx = None
+    if backend == "native":
+        # Same live engine both sides; only the kernel backend differs.
+        make_before = make_after
+        before_ctx = lambda: native.force_backend("off")  # noqa: E731
 
     after_s, after_edges, after_counters = time_engine(
-        make_after, graph, sources, repeats
+        make_after, graph, sources, repeats, after_ctx
     )
     before_s, before_edges, before_counters = time_engine(
-        make_before, graph, sources, repeats
+        make_before, graph, sources, repeats, before_ctx
     )
     if after_counters != before_counters:
         raise AssertionError(
@@ -164,6 +192,14 @@ def main(argv=None):
         help="small graphs, fewer repeats (CI perf smoke)",
     )
     parser.add_argument(
+        "--backend",
+        choices=("numpy", "native"),
+        default="numpy",
+        help="baseline: 'numpy' times the kernels engine against the "
+        "frozen reference; 'native' times the compiled backend against "
+        "the numpy kernels (warm-up excluded)",
+    )
+    parser.add_argument(
         "--repeats", type=int, default=None, help="timing repeats per engine"
     )
     parser.add_argument(
@@ -185,14 +221,31 @@ def main(argv=None):
     configs = QUICK_CONFIGS if args.quick else FULL_CONFIGS
     repeats = args.repeats or (2 if args.quick else 3)
     root = Path(__file__).resolve().parent.parent
+    stem = "BENCH_core" if args.backend == "numpy" else "BENCH_native"
     output = args.output or (
-        root / ("BENCH_core.quick.json" if args.quick else "BENCH_core.json")
+        root / (f"{stem}.quick.json" if args.quick else f"{stem}.json")
     )
+
+    warmup_seconds = None
+    if args.backend == "native":
+        if not native.available():
+            print(
+                "error: --backend native but no native backend resolved "
+                f"({native.disabled_reason()})",
+                file=sys.stderr,
+            )
+            return 2
+        warmup_seconds = native.warmup()
+        print(
+            f"native backend: {native.backend_name()} "
+            f"(warm-up {warmup_seconds * 1e3:.1f} ms, excluded from timings)",
+            flush=True,
+        )
 
     results = []
     for cfg in configs:
         print(f"[{cfg[0]}] running ({repeats} repeats per engine)...", flush=True)
-        entry = run_config(*cfg, repeats)
+        entry = run_config(*cfg, repeats, backend=args.backend)
         results.append(entry)
         print(
             f"  before {entry['before']['seconds']:.3f}s "
@@ -206,13 +259,28 @@ def main(argv=None):
     payload = {
         "benchmark": "kernel_walltime",
         "mode": "quick" if args.quick else "full",
+        "backend": args.backend,
         "repeats": repeats,
         "metric": "wall-clock TEPS (simulated-counter edges / host seconds)",
         "results": results,
     }
+    if args.backend == "native":
+        payload["native_backend"] = native.backend_name()
+        payload["warmup_seconds"] = warmup_seconds
     output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {output}")
     publish(results)
+
+    if args.backend == "native":
+        slower = [r["name"] for r in results if r["speedup"] < 1.0]
+        if slower:
+            print(
+                "REGRESSION: native slower than the numpy kernels on "
+                + ", ".join(slower),
+                file=sys.stderr,
+            )
+            return 1
+        print("native gate passed: native >= numpy on every config")
 
     if args.check is not None:
         baseline = json.loads(args.check.read_text())

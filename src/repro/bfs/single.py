@@ -147,7 +147,10 @@ class SingleBFS:
                 unvisited = np.flatnonzero(depths == UNVISITED).astype(VERTEX_DTYPE)
                 if unvisited.size == 0:
                     break
-                new_frontier = self._bottom_up_level(depths, unvisited, level, record)
+                new_frontier = self._bottom_up_level(
+                    depths, unvisited, level, record,
+                    kernel=decision.kernel,
+                )
                 run_plan.append(decision)
                 if new_frontier.size == 0:
                     break
@@ -253,6 +256,7 @@ class SingleBFS:
         unvisited: np.ndarray,
         level: int,
         record: RunRecord,
+        kernel: str = "auto",
     ) -> np.ndarray:
         assert self._reverse is not None
         mem = self.device.memory
@@ -277,7 +281,13 @@ class SingleBFS:
             return (parent_depth >= 0) & (parent_depth <= level)
 
         probes, found = bucketed_hit_scan(
-            indices, starts, ends - starts, parent_hit
+            indices,
+            starts,
+            ends - starts,
+            parent_hit,
+            depth_table=depths,
+            level=level,
+            kernel=kernel,
         )
 
         discovered = active[found]

@@ -16,7 +16,9 @@ run:
 * ``bench-serve`` — micro-batched vs one-request-one-traversal
   serving throughput on the same workload;
 * ``metrics-dump`` — re-render the metric records of a ``run --trace``
-  JSONL file as Prometheus text exposition format.
+  JSONL file as Prometheus text exposition format;
+* ``kernels`` — report which kernel backend (numba/cext/numpy) this
+  host resolves and its warm-up cost.
 
 Usage: ``python -m repro.cli <subcommand> --help`` (or the installed
 ``repro`` console script).
@@ -49,6 +51,7 @@ from repro.graph import (
 from repro.graph.properties import degree_stats, gini_coefficient
 from repro.core.groupby import GroupByConfig, group_sources
 from repro.plan import POLICY_NAMES, make_policy
+from repro.plan.types import KERNEL_VARIANTS
 
 
 def _load_graph(spec: str) -> CSRGraph:
@@ -106,7 +109,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         mode=args.mode,
         groupby=not args.no_groupby,
     )
-    planner = make_policy(args.policy) if args.policy else None
+    planner = None
+    if args.policy:
+        planner = make_policy(args.policy, kernel=args.kernel)
+    elif args.kernel:
+        planner = make_policy("heuristic", kernel=args.kernel)
     tracer = None
     if args.trace:
         from repro import obs
@@ -210,7 +217,9 @@ def cmd_plan(args: argparse.Namespace) -> int:
     count = min(args.sources, args.group_size)
     group = _pick_sources(graph, count, args.seed)
     config = IBFSConfig(group_size=args.group_size, mode=args.mode)
-    engine = IBFS(graph, config, planner=make_policy(args.policy))
+    engine = IBFS(
+        graph, config, planner=make_policy(args.policy, kernel=args.kernel)
+    )
 
     replay_plan = None
     if args.replay:
@@ -449,6 +458,29 @@ def cmd_metrics_dump(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_kernels(args: argparse.Namespace) -> int:
+    """Report which kernel backend this host actually runs."""
+    import repro.native as native
+
+    if args.warmup:
+        native.warmup()
+    report = native.capability_report()
+    numba = report["numba"]
+    warm = report["warmup_seconds"]
+    print(f"native backend  : "
+          f"{report['backend'] or 'unavailable'}")
+    if not report["enabled"]:
+        print(f"reason          : {report['reason']}")
+    print(f"numba           : "
+          f"{numba if numba is not None else 'not installed'}")
+    print(f"c compiler      : {report['compiler'] or 'not found'}")
+    print(f"kernel='auto'   : resolves to {report['auto_kernel']!r}")
+    print(f"warm-up         : "
+          + (f"{warm * 1e3:.1f} ms" if warm is not None else
+             "not run (pass --warmup)"))
+    return 0
+
+
 def cmd_topk(args: argparse.Namespace) -> int:
     from repro.apps.topk_closeness import top_k_closeness
 
@@ -516,6 +548,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--policy", choices=POLICY_NAMES, default=None,
                      help="traversal planner policy (default: the "
                           "engine's heuristic policy)")
+    run.add_argument("--kernel", choices=KERNEL_VARIANTS, default=None,
+                     help="bottom-up kernel variant (default: auto — "
+                          "the compiled backend when available)")
     run.set_defaults(func=cmd_run)
 
     plan = sub.add_parser(
@@ -529,6 +564,8 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--mode", choices=("bitwise", "joint"),
                       default="bitwise")
     plan.add_argument("--policy", choices=POLICY_NAMES, default="heuristic")
+    plan.add_argument("--kernel", choices=KERNEL_VARIANTS, default=None,
+                      help="bottom-up kernel variant recorded in the plan")
     plan.add_argument("--seed", type=int, default=42)
     plan.add_argument("--max-depth", type=int, default=None)
     plan.add_argument("--export", default=None, metavar="PATH",
@@ -570,6 +607,14 @@ def build_parser() -> argparse.ArgumentParser:
     topk.add_argument("graph")
     topk.add_argument("--k", type=int, default=10)
     topk.set_defaults(func=cmd_topk)
+
+    kern = sub.add_parser(
+        "kernels",
+        help="report the resolved kernel backend (numba/cext/numpy)",
+    )
+    kern.add_argument("--warmup", action="store_true",
+                      help="compile/load the backend and time the warm-up")
+    kern.set_defaults(func=cmd_kernels)
 
     mdump = sub.add_parser(
         "metrics-dump",

@@ -42,6 +42,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+import repro.native as native
 from repro.errors import TraversalError
 from repro.graph.csr import CSRGraph, VERTEX_DTYPE
 from repro.gpusim.counters import LevelRecord, RunRecord
@@ -74,6 +75,27 @@ INSTRUCTIONS_PER_INSPECTION = 6
 INSTRUCTIONS_PER_VERTEX = 6
 
 UNVISITED = -1
+
+
+def _materialize_depths(depths_vm: np.ndarray) -> np.ndarray:
+    """Transpose the vertex-major depth matrix into the (group, n) int32
+    result layout.
+
+    Done in row blocks so each block's strided reads stay cache
+    resident: a fused ``ascontiguousarray(depths_vm.T, dtype=int32)``
+    walks the int8 input one 64-byte-strided element per output cell —
+    a cache miss per element at scale — where block copies cost a
+    fraction of that.  The compiled backend runs the same tiled
+    widening transpose in C when resolved.
+    """
+    if native.enabled():
+        return native.materialize_depths(depths_vm)
+    num_vertices, group_size = depths_vm.shape
+    depths = np.empty((group_size, num_vertices), dtype=np.int32)
+    block = 4096
+    for i in range(0, num_vertices, block):
+        depths[:, i:i + block] = depths_vm[i:i + block].T
+    return depths
 
 
 class BitwiseTraversal:
@@ -359,7 +381,7 @@ class BitwiseTraversal:
             level += 1
 
         record.counters.kernel_launches += 1
-        depths = np.ascontiguousarray(depths_vm.T, dtype=np.int32)
+        depths = _materialize_depths(depths_vm)
         seconds = self.device.cost.kernel_time(record.levels)
         stats = GroupStats(
             sources=sources,
@@ -476,12 +498,26 @@ class BitwiseTraversal:
             # One thread per frontier performs one OR per neighbor,
             # regardless of how many instances share the frontier.
             inspections_level += int(neighbors.size)
-            plan = scatter_plan(neighbors)
-            workspace.stash_rows(bsa, plan.unique_targets)
-            word_index = np.repeat(
-                np.arange(td_frontier.size, dtype=np.int64), degrees
-            )
-            scatter_or(bsa, neighbors, frontier_words, plan, word_index)
+            if native.effective(decision.kernel, lanes):
+                # Fused CSR edge-map: the compiled backend walks the
+                # frontier's adjacency directly (word row r covers the
+                # next degrees[r] targets), skipping the sort/reduceat
+                # scatter plan and the materialized np.repeat index.
+                unique_targets = native.unique_targets(
+                    neighbors, num_vertices
+                )
+                workspace.stash_rows(bsa, unique_targets)
+                native.scatter_or(
+                    bsa, neighbors, frontier_words, repeats=degrees
+                )
+            else:
+                plan = scatter_plan(neighbors)
+                unique_targets = plan.unique_targets
+                workspace.stash_rows(bsa, unique_targets)
+                word_index = np.repeat(
+                    np.arange(td_frontier.size, dtype=np.int64), degrees
+                )
+                scatter_or(bsa, neighbors, frontier_words, plan, word_index)
 
             loads += mem.stream_transactions(td_frontier.size * 8)
             frontier_ld, frontier_req = mem.coalesced_transactions(
@@ -494,7 +530,6 @@ class BitwiseTraversal:
             load_requests += frontier_req + nb_req
             # Shared-memory merging inside each CTA collapses duplicate
             # neighbor updates; only the merged words hit global atomics.
-            unique_targets = plan.unique_targets
             atomics += int(unique_targets.size)
             counters.shared_memory_accesses += int(
                 neighbors.size - unique_targets.size
@@ -527,9 +562,19 @@ class BitwiseTraversal:
                     (self._per_vertex_probes + per_line - 1) // per_line
                 )
             )
-            probe_ld, probe_req = mem.coalesced_transactions(
-                self._probed_neighbors, word_bytes
-            )
+            if self._probed_neighbors is None:
+                # Native scans never materialized the round-major
+                # stream; the fused kernel prices the identical stream.
+                probe_ld, probe_req = native.bottom_up_coalesced(
+                    *self._probe_parts,
+                    word_bytes,
+                    mem.config.transaction_bytes,
+                    mem.config.warp_size,
+                )
+            else:
+                probe_ld, probe_req = mem.coalesced_transactions(
+                    self._probed_neighbors, word_bytes
+                )
             loads += probe_ld
             load_requests += probe_req
             st_txn, st_req = mem.coalesced_transactions(updated, word_bytes)
@@ -549,18 +594,26 @@ class BitwiseTraversal:
         # next level's frontier.
         changed, diff = workspace.changed(bsa)
         if changed.size:
-            counts += per_bit_counts(diff, group_size)
+            counts += per_bit_counts(
+                diff, group_size, kernel=decision.kernel
+            )
             fdeg_next += per_bit_weighted(
-                diff, out_degrees[changed], group_size
+                diff, out_degrees[changed], group_size,
+                kernel=decision.kernel,
             )
             # A newly set bit's depth cell still holds UNVISITED (-1), so
             # adding (level + 2) exactly where bits are set rewrites it
             # to level + 1 with pure SIMD arithmetic — no boolean-where
             # pass.  Rows in ``changed`` are unique, so the fancy-indexed
             # in-place add is a plain gather/add/scatter.
-            upd = unpack_lane_bits(diff, group_size).astype(depths_vm.dtype)
-            upd *= depths_vm.dtype.type(level + 2)
-            depths_vm[changed] += upd
+            if native.effective(decision.kernel, lanes):
+                native.depth_update(depths_vm, changed, diff, level + 2)
+            else:
+                upd = unpack_lane_bits(diff, group_size).astype(
+                    depths_vm.dtype
+                )
+                upd *= depths_vm.dtype.type(level + 2)
+                depths_vm[changed] += upd
             progressed = counts > 0
 
         # Identification scans BSA_k and BSA_{k+1}; MS-BFS additionally
@@ -654,6 +707,7 @@ class BitwiseTraversal:
             lambda rows: workspace.snapshot_rows(bsa, rows),
             bu_inspections,
             kernel=kernel,
+            source=workspace.snapshot_source(bsa),
         )
 
         # "Updated" for the store model compares against BSA_k (the
@@ -678,8 +732,13 @@ class BitwiseTraversal:
         early = int(np.count_nonzero(done & (probes < (ends - starts))))
         self._per_vertex_probes = probes
         # Early-termination scans emit the round-major stream directly;
-        # full scans (MS-BFS) reconstruct it from per-vertex counts.
-        if stream is None:
+        # full scans (MS-BFS) reconstruct it from per-vertex counts —
+        # except on the native path, where the caller prices the stream
+        # through the fused round-major coalescing kernel instead of
+        # materializing it.
+        if stream is None and native.effective(kernel, bsa.shape[1]):
+            self._probe_parts = (indices, starts, probes)
+        elif stream is None:
             stream = round_major_probes(indices, starts, probes)
         self._probed_neighbors = stream
         return int(probes.sum()), early, updated

@@ -234,14 +234,18 @@ class IBFS:
         counters = ProfilerCounters()
         group_stats: List[GroupStats] = []
         depth_rows = {} if store_depths else None
+        sole_depths = None
 
         for group in groups:
             part = self.run_group(group, max_depth=max_depth)
             counters.merge(part.counters)
             group_stats.append(part.groups[0])
             if depth_rows is not None:
-                for row, source in enumerate(group):
-                    depth_rows[source] = part.depths[row]
+                if len(groups) == 1 and group == sources:
+                    sole_depths = part.depths
+                else:
+                    for row, source in enumerate(group):
+                        depth_rows[source] = part.depths[row]
 
         if cluster is not None:
             seconds = cluster.run([g.seconds for g in group_stats]).makespan
@@ -249,7 +253,11 @@ class IBFS:
             seconds = sum(g.seconds for g in group_stats)
 
         matrix = None
-        if depth_rows is not None:
+        if sole_depths is not None:
+            # One group in source order: the group's matrix IS the
+            # result — stacking row views would copy it verbatim.
+            matrix = sole_depths
+        elif depth_rows is not None:
             matrix = np.stack([depth_rows[s] for s in sources])
         return ConcurrentResult(
             engine=self.name,

@@ -156,6 +156,7 @@ class JointTraversal:
                 observer,
                 sharing_log,
                 bu_inspections,
+                kernel=decision.kernel,
             )
 
             # Per-instance bookkeeping: completion and the statistics the
@@ -217,6 +218,7 @@ class JointTraversal:
         observer: SharingObserver,
         sharing_log: dict,
         bu_inspections: np.ndarray,
+        kernel: str = "auto",
     ) -> np.ndarray:
         mem = self.device.memory
         counters = record.counters
@@ -297,7 +299,7 @@ class JointTraversal:
         # --- Bottom-up pass ------------------------------------------
         if bu_instances:
             probes, early, bu_discovered, vertex_rounds = self._bottom_up_pass(
-                depths, bu_instances, level, bu_inspections
+                depths, bu_instances, level, bu_inspections, kernel=kernel
             )
             progressed[bu_instances] |= bu_discovered > 0
             counters.early_terminations += early
@@ -364,6 +366,7 @@ class JointTraversal:
         bu_instances: List[int],
         level: int,
         bu_inspections: np.ndarray,
+        kernel: str = "auto",
     ):
         """Per-instance bottom-up probing with early termination.
 
@@ -392,7 +395,14 @@ class JointTraversal:
             return (parent_depth >= 0) & (parent_depth <= level)
 
         probes, found = bucketed_hit_scan(
-            indices, starts, ends - starts, parent_hit
+            indices,
+            starts,
+            ends - starts,
+            parent_hit,
+            depth_table=depths,
+            inst=bu_rows[pair_row],
+            level=level,
+            kernel=kernel,
         )
 
         discovered_idx = np.flatnonzero(found)

@@ -49,6 +49,7 @@ import traceback as traceback_mod
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+import repro.native as native
 from repro.core.engine import IBFS, IBFSConfig
 from repro.plan.policy import DirectionPolicy, Policy
 from repro.gpusim.config import DeviceConfig
@@ -127,6 +128,9 @@ def worker_main(
             enabled=obs_spec.profile, sample_every=obs_spec.sample_every
         )
     tracer: Optional[obs_tracing.Tracer] = None
+    # Pay JIT/compile cost once at spawn, not inside the first task's
+    # timed span (a no-op when no native backend resolves).
+    native.warmup()
     attached = attach_graph(handle)
     try:
         engine = engine_spec.build(attached.graph)

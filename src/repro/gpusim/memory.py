@@ -19,6 +19,7 @@ from typing import Tuple
 
 import numpy as np
 
+import repro.native as native
 from repro.errors import SimulationError
 from repro.gpusim.config import DeviceConfig
 
@@ -83,11 +84,18 @@ class MemoryModel:
         if element_bytes <= 0:
             raise SimulationError("element_bytes must be positive")
         warp = self.config.warp_size
-        lines = (indices.astype(np.int64) * element_bytes) // self.config.transaction_bytes
-        requests = math.ceil(lines.size / warp)
         if warp == 1:
             # CPU model: every access is its own transaction-sized fetch.
-            return int(lines.size), int(lines.size)
+            return int(indices.size), int(indices.size)
+        if warp <= 64 and native.enabled():
+            # Same distinct-lines-per-warp count without materializing,
+            # padding, and sorting the line grid (this is a per-level
+            # hot path: the full neighbor/probe address streams).
+            return native.coalesced_transactions(
+                indices, element_bytes, self.config.transaction_bytes, warp
+            )
+        lines = (indices.astype(np.int64) * element_bytes) // self.config.transaction_bytes
+        requests = math.ceil(lines.size / warp)
         pad = requests * warp - lines.size
         if pad:
             lines = np.concatenate([lines, np.full(pad, -1, dtype=np.int64)])

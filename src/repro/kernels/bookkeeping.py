@@ -15,9 +15,11 @@ bit.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
+
+import repro.native as native
 
 
 def unpack_lane_bits(
@@ -46,7 +48,9 @@ _BYTE_BITS = ((np.arange(256)[None, :] >> np.arange(8)[:, None]) & 1).astype(
 )
 
 
-def per_bit_counts(words: np.ndarray, group_size: int) -> np.ndarray:
+def per_bit_counts(
+    words: np.ndarray, group_size: int, *, kernel: Optional[str] = None
+) -> np.ndarray:
     """Column sums of the bit matrix encoded by ``(rows, lanes)`` words.
 
     ``out[j]`` is the number of rows whose instance-``j`` bit is set.
@@ -55,9 +59,15 @@ def per_bit_counts(words: np.ndarray, group_size: int) -> np.ndarray:
     input element once instead of materializing the 8x-larger unpacked
     bit matrix, so halving the element count by histogramming two bytes
     at a time wins as soon as the rows outweigh the 65536-bin reset.
+
+    ``kernel`` (a :data:`repro.plan.types.KERNEL_VARIANTS` entry) routes
+    the tally through the compiled backend when it resolves; bit-count
+    sums are order-free, so the result is bit-identical either way.
     """
     if words.size == 0:
         return np.zeros(group_size, dtype=np.int64)
+    if kernel is not None and native.effective(kernel):
+        return native.per_bit_counts(words, group_size)
     rows = words.shape[0]
     contig = np.ascontiguousarray(words, dtype=np.uint64)
     if rows >= 1 << 15:
@@ -78,17 +88,24 @@ def per_bit_counts(words: np.ndarray, group_size: int) -> np.ndarray:
 
 
 def per_bit_weighted(
-    words: np.ndarray, weights: np.ndarray, group_size: int
+    words: np.ndarray,
+    weights: np.ndarray,
+    group_size: int,
+    *,
+    kernel: Optional[str] = None,
 ) -> np.ndarray:
     """Weighted column sums: ``out[j] = weights[bit j set].sum()``.
 
     Same byte-histogram scheme as :func:`per_bit_counts` with weighted
     bins.  Float64 accumulation is exact for integer weights whose sums
     stay below 2**53 — true for any degree total bounded by the edge
-    count.
+    count, which also makes the compiled backend's int64 accumulation
+    (selected via ``kernel``) bit-identical.
     """
     if words.size == 0:
         return np.zeros(group_size, dtype=np.int64)
+    if kernel is not None and native.effective(kernel):
+        return native.per_bit_weighted(words, weights, group_size)
     rows = words.shape[0]
     as_bytes = np.ascontiguousarray(words, dtype=np.uint64).view(np.uint8)
     as_bytes = as_bytes.reshape(rows, -1)

@@ -29,6 +29,7 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+import repro.native as native
 from repro.kernels.bookkeeping import per_bit_counts
 from repro.obs import profile as obs_profile
 from repro.util import exclusive_cumsum
@@ -91,10 +92,16 @@ def round_major_probes(
     the ``r``-th being ``indices[starts[i] + r]``.  The reference loop
     emits all round-0 probes (vertices ascending), then all round-1
     probes, and so on — the order the warp-coalescing model sees.
+
+    Dispatches to the compiled backend transparently when one is
+    resolved: the native counting sort produces the identical stream
+    (the ordering is fully determined), so no planner choice is needed.
     """
     total = int(probes.sum())
     if total == 0:
         return np.empty(0, dtype=indices.dtype)
+    if native.enabled():
+        return native.round_major_probes(indices, starts, probes)
     m = np.int64(probes.size)
     v_rep = np.repeat(np.arange(probes.size, dtype=np.int64), probes)
     r_idx = np.arange(total, dtype=np.int64) - np.repeat(
@@ -142,6 +149,7 @@ def bucketed_or_scan(
     inspections_out: np.ndarray,
     *,
     kernel: str = "auto",
+    source: Optional[Tuple] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray]]:
     """Profiled entry point for :func:`_bucketed_or_scan_impl` (the
     docstring there is authoritative); emits one
@@ -150,9 +158,20 @@ def bucketed_or_scan(
 
     ``kernel`` selects the host execution variant (the planner's
     :data:`~repro.plan.types.KERNEL_VARIANTS`): ``"auto"`` and
-    ``"flat"`` use the flat single-lane specialization when the group
-    fits one status word, ``"generic"`` forces the row-wise multi-lane
-    passes.  All variants are bit-identical in outputs and counters.
+    ``"native"`` run the compiled backend when one resolves (an
+    explicit ``"native"`` with no backend falls back with a one-time
+    warning); ``"auto"`` and ``"flat"`` otherwise use the flat
+    single-lane specialization when the group fits one status word,
+    ``"generic"`` forces the row-wise multi-lane passes.  All variants
+    are bit-identical in outputs and counters.
+
+    ``source`` is the raw-array form of ``fetch_rows`` the compiled
+    backend needs (:meth:`LevelWorkspace.snapshot_source
+    <repro.kernels.workspace.LevelWorkspace.snapshot_source>`); without
+    it the native variant cannot run and the numpy passes execute.  The
+    native scan returns ``stream=None`` in both modes — callers
+    reconstruct it with :func:`round_major_probes`, which emits the
+    identical round-major order.
     """
     with obs_profile.span(
         "kernels.bottomup_or_scan",
@@ -160,6 +179,12 @@ def bucketed_or_scan(
         early_termination=bool(early_termination),
         kernel=kernel,
     ):
+        if source is not None and native.effective(kernel, state.shape[1]):
+            probes, acc, done = native.or_scan(
+                indices, starts, ends, state, lane_mask, target,
+                early_termination, source, inspections_out,
+            )
+            return probes, acc, done, None
         return _bucketed_or_scan_impl(
             indices, starts, ends, state, lane_mask, target,
             early_termination, fetch_rows, inspections_out,
@@ -608,14 +633,37 @@ def bucketed_hit_scan(
     starts: np.ndarray,
     degrees: np.ndarray,
     hit: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    *,
+    depth_table: Optional[np.ndarray] = None,
+    inst: Optional[np.ndarray] = None,
+    level: Optional[int] = None,
+    kernel: str = "auto",
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Profiled entry point for :func:`_bucketed_hit_scan_impl` (the
     docstring there is authoritative); emits one
     ``profile.kernels.bottomup_hit_scan`` span per call when profiling
-    is on."""
+    is on.
+
+    The JSA and single-source engines' ``hit`` predicate is always the
+    same depth-window test — neighbor visited at a level ``<= level``.
+    Passing its raw form (``depth_table``, optional per-position row
+    selector ``inst``, and ``level``) lets the compiled backend run the
+    scan as one fused loop when ``kernel`` resolves to it; the ``hit``
+    callable remains the numpy fallback and the semantics of record.
+    """
     with obs_profile.span(
-        "kernels.bottomup_hit_scan", positions=int(starts.size)
+        "kernels.bottomup_hit_scan",
+        positions=int(starts.size),
+        kernel=kernel,
     ):
+        if (
+            depth_table is not None
+            and level is not None
+            and native.effective(kernel)
+        ):
+            return native.hit_scan_depth(
+                indices, starts, degrees, depth_table, level, inst=inst
+            )
         return _bucketed_hit_scan_impl(indices, starts, degrees, hit)
 
 

@@ -86,6 +86,34 @@ class LevelWorkspace:
         self._dirty_pos[fresh] = np.arange(self._num_dirty, end, dtype=np.int64)
         self._num_dirty = end
 
+    def snapshot_source(self, words: np.ndarray) -> Tuple:
+        """Raw-array description of this level's ``BSA_k`` fetch.
+
+        The compiled backend (:mod:`repro.native`) cannot call
+        :meth:`snapshot_rows` per probe, so it receives the arrays the
+        gather would read instead: ``("direct", words)`` while nothing
+        is dirty (every row reads through to the live array), or
+        ``("dirty", words, dirty_pos, saved)`` where rows with
+        ``dirty_pos[v] >= 0`` take their pre-level value from
+        ``saved[dirty_pos[v]]`` — exactly the patching
+        :meth:`snapshot_rows` performs.  The trailing element is the
+        dirty row list aligned with ``saved`` (``saved[j]`` is row
+        ``rows[j]``'s pre-level value), letting the backend patch the
+        stash in bulk instead of gathering ``dirty_pos`` per probe.
+        The returned arrays are live views; consume them before the
+        next ``stash_rows`` call.
+        """
+        if self._num_dirty == 0:
+            return ("direct", words)
+        k = self._num_dirty
+        return (
+            "dirty",
+            words,
+            self._dirty_pos,
+            self._saved[:k],
+            self._dirty_rows[:k],
+        )
+
     def snapshot_rows(self, words: np.ndarray, rows: np.ndarray) -> np.ndarray:
         """Pre-level (``BSA_k``) values of arbitrary ``rows``.
 
@@ -155,6 +183,10 @@ class FullSnapshotWorkspace:
 
     def stash_rows(self, words: np.ndarray, rows: np.ndarray) -> None:
         """No-op: the full snapshot already holds every pre-level row."""
+
+    def snapshot_source(self, words: np.ndarray) -> Tuple:
+        """Raw-array ``BSA_k`` fetch: the snapshot is always direct."""
+        return ("direct", self._snapshot)
 
     def snapshot_rows(self, words: np.ndarray, rows: np.ndarray) -> np.ndarray:
         """Pre-level (``BSA_k``) values of arbitrary ``rows``."""

@@ -1,0 +1,36 @@
+"""Numba provider: ``@njit(cache=True)`` over the Python kernels.
+
+Importing this module raises :class:`ImportError` when Numba is not
+installed; provider resolution in :mod:`repro.native` treats that as
+"numba unavailable" and falls through to the C-extension provider.
+The jitted functions share their source with the pure-Python provider
+(:mod:`repro.native._pykernels`), so the equivalence suite that runs
+against the ``python`` provider covers exactly the loops Numba
+compiles.
+
+``cache=True`` persists the compiled machine code next to the package
+(or ``NUMBA_CACHE_DIR``), so warm-up cost is paid once per source
+revision rather than once per process.
+"""
+
+from __future__ import annotations
+
+import numba
+
+from repro.native import _pykernels
+
+name = "numba"
+
+_JIT = numba.njit(cache=True, fastmath=False)
+
+unique_targets = _JIT(_pykernels.unique_targets)
+scatter_or = _JIT(_pykernels.scatter_or)
+or_scan = _JIT(_pykernels.or_scan)
+coalesce = _JIT(_pykernels.coalesce)
+round_coalesce = _JIT(_pykernels.round_coalesce)
+depth_update = _JIT(_pykernels.depth_update)
+transpose_i32 = _JIT(_pykernels.transpose_i32)
+round_major = _JIT(_pykernels.round_major)
+hit_scan_depth = _JIT(_pykernels.hit_scan_depth)
+per_bit_counts = _JIT(_pykernels.per_bit_counts)
+per_bit_weighted = _JIT(_pykernels.per_bit_weighted)

@@ -1,0 +1,389 @@
+"""Scalar-loop kernels in the Numba ``nopython`` subset.
+
+These functions are the compiled backend's *source of truth* in Python
+form: :mod:`repro.native._numba` wraps every one of them in
+``numba.njit(cache=True)`` when Numba is importable, and the
+``python`` provider runs them as-is — slow, but exercising exactly the
+loop structure the JIT compiles, which makes them the testable oracle
+for both compiled providers (the C translation unit in
+:mod:`repro.native._csrc` restates the same loops in C).
+
+Constraints imposed by nopython mode, kept deliberately:
+
+* signatures take arrays and ints only — optional inputs arrive as a
+  mode flag plus a (possibly empty) sentinel array, never ``None``;
+* status words are always 2-D ``(rows, lanes)`` uint64 — single-lane
+  callers pass ``(rows, 1)`` views (same memory, no copies);
+* bit iteration is a shift loop (no ``ctz`` intrinsic in the subset);
+* outputs are caller-allocated and written in place, so the three
+  providers share one allocation layer.
+
+Semantics mirror the numpy kernel layer bit-for-bit; the authoritative
+docstrings live in :mod:`repro.kernels.scatter`,
+:mod:`repro.kernels.bottomup`, and :mod:`repro.kernels.bookkeeping`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+name = "python"
+
+_ONE = np.uint64(1)
+_ZERO = np.uint64(0)
+
+
+def unique_targets(targets, flags, out):
+    """Sorted unique values of ``targets`` into ``out``; returns count.
+
+    ``flags`` (uint8, one slot per possible target) must be all-zero on
+    entry; every flag set here is cleared before returning so the
+    caller can cache one zeroed buffer across calls.
+    """
+    count = 0
+    for i in range(targets.shape[0]):
+        t = targets[i]
+        if flags[t] == 0:
+            flags[t] = 1
+            out[count] = t
+            count += 1
+    for i in range(count):
+        flags[out[i]] = 0
+    out[:count].sort()
+    return count
+
+
+def scatter_or(out, targets, words, word_index, mode):
+    """Fused ``out[targets[i]] |= words[row(i)]`` over uint64 rows.
+
+    mode 0: ``row(i) = i`` — one word row per target.
+    mode 1: ``row(i) = word_index[i]`` — compact word table.
+    mode 2: word row ``r`` covers the next ``word_index[r]`` targets
+            (the CSR edge-map: ``word_index`` is the frontier degree
+            array, replacing the materialized ``np.repeat``).
+    """
+    lanes = out.shape[1]
+    if mode == 2:
+        i = 0
+        for r in range(words.shape[0]):
+            reps = word_index[r]
+            for _ in range(reps):
+                t = targets[i]
+                for lane in range(lanes):
+                    out[t, lane] |= words[r, lane]
+                i += 1
+        return
+    for i in range(targets.shape[0]):
+        r = word_index[i] if mode == 1 else i
+        t = targets[i]
+        for lane in range(lanes):
+            out[t, lane] |= words[r, lane]
+
+
+def or_scan(
+    indices,
+    starts,
+    ends,
+    state,
+    lane_mask,
+    target,
+    early_termination,
+    base,
+    dirty_pos,
+    saved,
+    src_mode,
+    probes,
+    acc,
+    done,
+    inspections,
+):
+    """Per-position bottom-up OR scan with true per-vertex early exit.
+
+    The fused restatement of the vectorized passes in
+    :func:`repro.kernels.bottomup.bucketed_or_scan`: position ``i``
+    accumulates ``pre |= fetch(nb_r) & lane_mask`` neighbor by
+    neighbor, retiring on the first round whose prefix reaches
+    ``target`` (when ``early_termination``) or after its whole list.
+    ``src_mode`` selects the ``BSA_k`` fetch: 0 reads ``base`` rows
+    directly (live array or full snapshot), 1 patches rows with
+    ``dirty_pos[v] >= 0`` from the ``saved`` stash.
+
+    Outputs match the numpy passes exactly: ``probes[i]`` rounds
+    executed, ``acc[i]`` the full prefix at retirement (zeros for
+    skipped positions), ``done[i]`` whether the target was reached, and
+    ``inspections[b] += 1`` per (position, executed round) whose
+    before-word has tracked bit ``b`` unset.  ``inspections`` must span
+    the full ``lanes * 64`` bit width.  Returns total probes.
+    """
+    m = starts.shape[0]
+    lanes = state.shape[1]
+    pre = np.empty(lanes, dtype=np.uint64)
+    total = 0
+    for i in range(m):
+        full = True
+        for lane in range(lanes):
+            pre[lane] = state[i, lane]
+            if pre[lane] != target[lane]:
+                full = False
+        if early_termination != 0 and full:
+            done[i] = True
+            continue
+        deg = ends[i] - starts[i]
+        if deg == 0:
+            continue
+        s = starts[i]
+        r = 0
+        while r < deg:
+            for lane in range(lanes):
+                pend = lane_mask[lane] & ~pre[lane]
+                b = lane * 64
+                while pend != _ZERO:
+                    if pend & _ONE != _ZERO:
+                        inspections[b] += 1
+                    pend >>= _ONE
+                    b += 1
+            v = indices[s + r]
+            p = dirty_pos[v] if src_mode == 1 else -1
+            full = True
+            for lane in range(lanes):
+                w = saved[p, lane] if p >= 0 else base[v, lane]
+                pre[lane] |= w & lane_mask[lane]
+                if pre[lane] != target[lane]:
+                    full = False
+            r += 1
+            if early_termination != 0 and full:
+                done[i] = True
+                break
+        probes[i] = r
+        total += r
+        for lane in range(lanes):
+            acc[i, lane] = pre[lane]
+    return total
+
+
+def coalesce(indices, element_bytes, txn_bytes, warp, out):
+    """Warp-coalesced transaction counting over an access stream.
+
+    Thread ``i`` accesses element ``indices[i]``; consecutive ``warp``
+    threads form one request, and accesses landing in the same
+    ``txn_bytes`` segment coalesce into one transaction.  Writes
+    ``out[0] = transactions``, ``out[1] = requests`` — identical to the
+    sort-based counting in
+    :meth:`repro.gpusim.memory.MemoryModel.coalesced_transactions`
+    (indices are non-negative array offsets, so integer division
+    matches numpy's floor division).
+    """
+    m = indices.shape[0]
+    dbuf = np.empty(warp, dtype=np.int64)
+    nd = 0
+    k = 0
+    txns = 0
+    reqs = 0
+    for i in range(m):
+        line = (indices[i] * element_bytes) // txn_bytes
+        if k == warp:
+            txns += nd
+            reqs += 1
+            k = 0
+            nd = 0
+        k += 1
+        seen = False
+        for j in range(nd - 1, -1, -1):
+            if dbuf[j] == line:
+                seen = True
+                break
+        if not seen:
+            dbuf[nd] = line
+            nd += 1
+    if k > 0:
+        txns += nd
+        reqs += 1
+    out[0] = txns
+    out[1] = reqs
+
+
+def round_coalesce(
+    indices, starts, probes, element_bytes, txn_bytes, warp, live, out
+):
+    """Fused bottom-up probe pricing without the materialized stream.
+
+    Walks the round-major probed-neighbor stream — all round-0 probes
+    in position order, then round 1, ... — feeding each address through
+    the same warp-coalescing count as :func:`coalesce`.  ``live`` is
+    int64 scratch of ``probes.shape[0]`` slots.  Identical to
+    :func:`round_major` followed by :func:`coalesce` on its output.
+    """
+    m = probes.shape[0]
+    dbuf = np.empty(warp, dtype=np.int64)
+    nd = 0
+    k = 0
+    txns = 0
+    reqs = 0
+    nlive = 0
+    for i in range(m):
+        if probes[i] > 0:
+            live[nlive] = i
+            nlive += 1
+    r = 0
+    while nlive > 0:
+        w = 0
+        for li in range(nlive):
+            i = live[li]
+            line = (indices[starts[i] + r] * element_bytes) // txn_bytes
+            if k == warp:
+                txns += nd
+                reqs += 1
+                k = 0
+                nd = 0
+            k += 1
+            seen = False
+            for j in range(nd - 1, -1, -1):
+                if dbuf[j] == line:
+                    seen = True
+                    break
+            if not seen:
+                dbuf[nd] = line
+                nd += 1
+            if probes[i] > r + 1:
+                live[w] = i
+                w += 1
+        nlive = w
+        r += 1
+    if k > 0:
+        txns += nd
+        reqs += 1
+    out[0] = txns
+    out[1] = reqs
+
+
+def depth_update(rows, diff, group_size, depths, add):
+    """``depths[rows[i], j] += add`` for every set bit ``j`` of row i.
+
+    The compiled form of the unpack / multiply / fancy-add depth
+    extraction in ``core/bitwise.py``: newly set bits still hold the
+    UNVISITED sentinel, so adding ``level + 2`` rewrites them to
+    ``level + 1``.  ``depths`` keeps whatever rung of the narrow-dtype
+    ladder the caller is on.
+    """
+    m = rows.shape[0]
+    lanes = diff.shape[1]
+    for i in range(m):
+        row = rows[i]
+        for lane in range(lanes):
+            w = diff[i, lane]
+            b = lane * 64
+            while w != _ZERO:
+                if w & _ONE != _ZERO and b < group_size:
+                    depths[row, b] += add
+                w >>= _ONE
+                b += 1
+
+
+def transpose_i32(src, dst):
+    """``dst[g, v] = int32(src[v, g])`` — widening depth transpose.
+
+    Tiled over vertex blocks so the strided reads stay cache-resident;
+    the narrow signed dtypes sign-extend exactly (UNVISITED = -1).
+    """
+    n = src.shape[0]
+    gs = src.shape[1]
+    block = 64
+    for v0 in range(0, n, block):
+        v1 = min(v0 + block, n)
+        for g in range(gs):
+            for v in range(v0, v1):
+                dst[g, v] = src[v, g]
+
+
+def round_major(indices, starts, probes, round_base, out):
+    """Round-major probed-neighbor stream via counting sort.
+
+    Emits all round-0 probes in position order, then round 1, ... —
+    the exact order :func:`repro.kernels.bottomup.round_major_probes`
+    reconstructs with a stable argsort.  ``round_base`` must hold
+    ``max(probes)`` zeroed int64 slots; ``out`` holds ``probes.sum()``.
+    """
+    m = probes.shape[0]
+    for i in range(m):
+        for r in range(probes[i]):
+            round_base[r] += 1
+    running = 0
+    for r in range(round_base.shape[0]):
+        c = round_base[r]
+        round_base[r] = running
+        running += c
+    for i in range(m):
+        s = starts[i]
+        for r in range(probes[i]):
+            out[round_base[r]] = indices[s + r]
+            round_base[r] += 1
+
+
+def hit_scan_depth(
+    indices, starts, degrees, depths, inst, use_inst, level, probes, found
+):
+    """First-hit scan over an int32 depth table.
+
+    Position ``i`` probes its neighbor list in order until one has
+    ``0 <= depth <= level`` (a parent visited at an earlier level) —
+    the depth-table specialization of
+    :func:`repro.kernels.bottomup.bucketed_hit_scan`'s ``hit``
+    callable.  ``use_inst == 0`` reads ``depths`` row 0 (single-source
+    1-D tables arrive as ``(1, n)`` views); otherwise position ``i``
+    reads row ``inst[i]``.  Returns total probes.
+    """
+    total = 0
+    for i in range(starts.shape[0]):
+        row = inst[i] if use_inst != 0 else 0
+        s = starts[i]
+        deg = degrees[i]
+        r = 0
+        while r < deg:
+            d = depths[row, indices[s + r]]
+            r += 1
+            if d >= 0 and d <= level:
+                found[i] = True
+                break
+        probes[i] = r
+        total += r
+    return total
+
+
+def per_bit_counts(words, out):
+    """``out[b] +=`` number of rows with bit ``b`` set (full bit width).
+
+    A plain shift loop per word: bit-count sums are order-free, so any
+    accumulation order is bit-identical to the byte-histogram
+    formulation in :func:`repro.kernels.bookkeeping.per_bit_counts`.
+    """
+    rows = words.shape[0]
+    lanes = words.shape[1]
+    for i in range(rows):
+        for lane in range(lanes):
+            w = words[i, lane]
+            b = lane * 64
+            while w != _ZERO:
+                if w & _ONE != _ZERO:
+                    out[b] += 1
+                w >>= _ONE
+                b += 1
+
+
+def per_bit_weighted(words, weights, out):
+    """``out[b] +=`` sum of ``weights`` over rows with bit ``b`` set.
+
+    Integer accumulation; identical to the numpy float64 path for any
+    weight total below 2**53 (degree sums always are).
+    """
+    rows = words.shape[0]
+    lanes = words.shape[1]
+    for i in range(rows):
+        wt = weights[i]
+        for lane in range(lanes):
+            w = words[i, lane]
+            b = lane * 64
+            while w != _ZERO:
+                if w & _ONE != _ZERO:
+                    out[b] += wt
+                w >>= _ONE
+                b += 1

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import ClassVar, List, Optional
 
+import repro.native as native
 from repro.errors import TraversalError
 from repro.plan.policy import Policy, PolicySession
 from repro.plan.types import Direction, LevelDecision, LevelStats
@@ -109,7 +110,10 @@ class _AdaptiveSession(PolicySession):
             self._vector_width = 2
         else:
             self._vector_width = 1
-        self._kernel = "flat" if lanes == 1 else "generic"
+        # Resolve "auto" now so the recorded plan names the variant the
+        # host actually ran: the compiled backend when it loads, else
+        # the flat single-lane specialization / generic numpy passes.
+        self._kernel = native.resolve_kernel("auto", lanes)
         self._directions: List[Direction] = [Direction.TOP_DOWN] * group_size
         self._snapshot = "dirty"
 

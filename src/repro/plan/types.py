@@ -28,11 +28,16 @@ from typing import Dict, Iterator, List, Tuple
 from repro.errors import TraversalError
 
 #: Bottom-up scan kernel variants (:func:`repro.kernels.bottomup.bucketed_or_scan`):
-#: ``"auto"`` picks the flat single-lane specialization when it applies,
-#: ``"flat"`` requests it explicitly, ``"generic"`` forces the row-wise
-#: multi-lane passes.  All variants are bit-identical in results and
-#: simulated counters; they differ in host execution only.
-KERNEL_VARIANTS = ("auto", "flat", "generic")
+#: ``"auto"`` picks the compiled backend when one is available
+#: (:mod:`repro.native`), else the flat single-lane specialization when
+#: it applies; ``"flat"`` requests the flat numpy passes explicitly,
+#: ``"generic"`` forces the row-wise multi-lane numpy passes, and
+#: ``"native"`` requests the compiled backend (falling back to the
+#: numpy variants with a one-time warning when no backend resolves, so
+#: plans recorded on native hosts replay anywhere).  All variants are
+#: bit-identical in results and simulated counters; they differ in host
+#: execution only.
+KERNEL_VARIANTS = ("auto", "flat", "generic", "native")
 
 #: Workspace snapshot strategies for ``BSA_k`` bookkeeping:
 #: ``"dirty"`` keeps the dirty-row stash (:class:`~repro.kernels.workspace.LevelWorkspace`),
@@ -159,9 +164,19 @@ class LevelDecision:
             )
         except (KeyError, ValueError) as exc:
             raise TraversalError(f"malformed LevelDecision payload: {exc}")
+        # Reject unknown kernels here with the constructor's exact typed
+        # error rather than relying on __post_init__ alone: the payload
+        # path is how plans from *newer* hosts arrive, so drift between
+        # the two validations would let an unknown variant slip into a
+        # decision some engines then dispatch on.
+        kernel = payload.get("kernel", "auto")
+        if kernel not in KERNEL_VARIANTS:
+            raise TraversalError(
+                f"kernel must be one of {KERNEL_VARIANTS}; got {kernel!r}"
+            )
         return cls(
             directions=directions,
-            kernel=payload.get("kernel", "auto"),
+            kernel=kernel,
             vector_width=int(payload.get("vector_width", 1)),
             snapshot=payload.get("snapshot", "dirty"),
             early_termination=bool(payload.get("early_termination", True)),

@@ -1,0 +1,535 @@
+"""Unit tests of the compiled kernel backend (:mod:`repro.native`).
+
+Covers provider resolution (env gates, forcing, fallback warnings),
+op-level bit-identity of every native primitive against its numpy
+formulation for each loadable provider, warm-up/capability reporting,
+and the bookkeeping edge cases (zero-width frontiers, group sizes not
+a multiple of 8, single-lane flat inputs) on both the numpy and native
+paths.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.native as native
+from repro.graph.generators import rmat
+from repro.kernels import (
+    bucketed_hit_scan,
+    bucketed_or_scan,
+    per_bit_counts,
+    per_bit_weighted,
+    round_major_probes,
+    scatter_or,
+    scatter_plan,
+)
+
+RNG = np.random.default_rng(11)
+
+
+def _loadable_providers():
+    names = ["python"]
+    for name in ("cext", "numba"):
+        try:
+            native._load_backend(name)
+        except ImportError:
+            continue
+        names.append(name)
+    return names
+
+
+PROVIDERS = _loadable_providers()
+
+
+@pytest.fixture(params=PROVIDERS)
+def provider(request):
+    with native.force_backend(request.param):
+        yield request.param
+
+
+# ----------------------------------------------------------------------
+# Resolution, gating, and reporting
+# ----------------------------------------------------------------------
+class TestResolution:
+    def test_python_provider_always_loads(self):
+        with native.force_backend("python"):
+            assert native.available()
+            assert native.backend_name() == "python"
+
+    def test_off_disables_everything(self):
+        with native.force_backend("off"):
+            assert not native.available()
+            assert native.backend_name() is None
+            assert not native.effective("auto")
+            assert native.resolve_kernel("auto", 1) == "flat"
+            assert native.resolve_kernel("auto", 2) == "generic"
+            assert "force_backend" in native.disabled_reason()
+
+    def test_env_escape_hatch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        native.refresh()
+        try:
+            assert not native.available()
+            assert "REPRO_NATIVE" in (native.disabled_reason() or "")
+        finally:
+            monkeypatch.delenv("REPRO_NATIVE")
+            native.refresh()
+
+    def test_env_backend_forcing(self, monkeypatch):
+        # The kill switch would override the backend selector (e.g. in
+        # the no-native CI lane); this test is about the selector.
+        monkeypatch.delenv("REPRO_NATIVE", raising=False)
+        monkeypatch.setenv("REPRO_NATIVE_BACKEND", "python")
+        native.refresh()
+        try:
+            assert native.backend_name() == "python"
+        finally:
+            monkeypatch.delenv("REPRO_NATIVE_BACKEND")
+            native.refresh()
+
+    def test_force_backend_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            with native.force_backend("fortran"):
+                pass
+
+    def test_effective_variants(self, provider):
+        assert native.effective("auto")
+        assert native.effective("native")
+        assert not native.effective("flat")
+        assert not native.effective("generic")
+        assert native.resolve_kernel("auto", 1) == "native"
+
+    def test_explicit_native_falls_back_with_one_warning(self):
+        with native.force_backend("off"):
+            native.refresh()
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                assert not native.effective("native")
+                assert not native.effective("native")
+            fallback = [
+                w for w in caught if "falling back" in str(w.message)
+            ]
+            assert len(fallback) == 1
+        native.refresh()
+
+    def test_cext_lane_limit(self):
+        if "cext" not in PROVIDERS:
+            pytest.skip("no C compiler on this host")
+        with native.force_backend("cext"):
+            assert native.effective("auto", lanes=64)
+            assert not native.effective("auto", lanes=65)
+            assert native.resolve_kernel("auto", 65) == "generic"
+
+    def test_warmup_and_capability_report(self, provider):
+        seconds = native.warmup()
+        assert seconds >= 0.0
+        report = native.capability_report()
+        assert report["enabled"] is True
+        assert report["backend"] == provider
+        assert report["auto_kernel"] == "native"
+
+    def test_capability_report_when_off(self):
+        with native.force_backend("off"):
+            report = native.capability_report()
+        assert report["enabled"] is False
+        assert report["backend"] is None
+        assert report["reason"]
+
+
+# ----------------------------------------------------------------------
+# Op-level bit-identity against the numpy kernels
+# ----------------------------------------------------------------------
+def _random_csr(num_positions, num_vertices, max_degree):
+    degrees = RNG.integers(0, max_degree + 1, size=num_positions)
+    starts = np.zeros(num_positions, dtype=np.int64)
+    np.cumsum(degrees[:-1], out=starts[1:])
+    indices = RNG.integers(
+        0, num_vertices, size=int(degrees.sum()), dtype=np.int64
+    )
+    return indices, starts, starts + degrees
+
+
+class TestOps:
+    def test_unique_targets(self, provider):
+        targets = RNG.integers(0, 500, size=3000, dtype=np.int64)
+        expected = np.unique(targets)
+        got = native.unique_targets(targets, 500)
+        np.testing.assert_array_equal(got, expected)
+        # The cached flag buffer must come back zeroed.
+        again = native.unique_targets(targets[:7], 500)
+        np.testing.assert_array_equal(again, np.unique(targets[:7]))
+
+    @pytest.mark.parametrize("lanes", [1, 2])
+    def test_scatter_or_matches_kernel(self, provider, lanes):
+        n = 200
+        targets = RNG.integers(0, n, size=900, dtype=np.int64)
+        words = RNG.integers(
+            0, 2**63, size=(900, lanes), dtype=np.uint64
+        )
+        expected = np.zeros((n, lanes), dtype=np.uint64)
+        plan = scatter_plan(targets)
+        scatter_or(expected, targets, words, plan)
+        got = np.zeros((n, lanes), dtype=np.uint64)
+        native.scatter_or(got, targets, words)
+        np.testing.assert_array_equal(got, expected)
+
+    @pytest.mark.parametrize("lanes", [1, 2])
+    def test_scatter_or_repeats_matches_np_repeat(self, provider, lanes):
+        n = 150
+        num_rows = 40
+        repeats = RNG.integers(0, 8, size=num_rows).astype(np.int64)
+        total = int(repeats.sum())
+        targets = RNG.integers(0, n, size=total, dtype=np.int64)
+        words = RNG.integers(
+            0, 2**63, size=(num_rows, lanes), dtype=np.uint64
+        )
+        word_index = np.repeat(
+            np.arange(num_rows, dtype=np.int64), repeats
+        )
+        expected = np.zeros((n, lanes), dtype=np.uint64)
+        plan = scatter_plan(targets)
+        scatter_or(expected, targets, words, plan, word_index)
+        got = np.zeros((n, lanes), dtype=np.uint64)
+        native.scatter_or(got, targets, words, repeats=repeats)
+        np.testing.assert_array_equal(got, expected)
+
+    @pytest.mark.parametrize("lanes", [1, 2])
+    @pytest.mark.parametrize("early_termination", [False, True])
+    @pytest.mark.parametrize("dirty", [False, True])
+    def test_or_scan_matches_bucketed_or_scan(
+        self, provider, lanes, early_termination, dirty
+    ):
+        n = 120
+        group_size = lanes * 64 - 3
+        indices, starts, ends = _random_csr(80, n, 9)
+        base = RNG.integers(0, 2**63, size=(n, lanes), dtype=np.uint64)
+        lane_mask = np.full(lanes, np.uint64(2**64 - 1), dtype=np.uint64)
+        lane_mask[-1] = np.uint64((1 << (group_size - (lanes - 1) * 64)) - 1)
+        vertices = RNG.choice(n, size=80, replace=False)
+        state = base[vertices] & lane_mask
+        if dirty:
+            dirty_pos = np.full(n, -1, dtype=np.int64)
+            dirty_vertices = RNG.choice(n, size=30, replace=False)
+            saved = RNG.integers(
+                0, 2**63, size=(30, lanes), dtype=np.uint64
+            )
+            dirty_pos[dirty_vertices] = np.arange(30)
+            source = ("dirty", base, dirty_pos, saved)
+
+            def fetch(rows):
+                out = base[rows].copy()
+                hit = dirty_pos[rows] >= 0
+                out[hit] = saved[dirty_pos[rows][hit]]
+                return out
+        else:
+            source = ("direct", base)
+
+            def fetch(rows):
+                return base[rows].copy()
+
+        insp_a = np.zeros(group_size, dtype=np.int64)
+        with native.force_backend("off"):
+            probes_a, acc_a, done_a, stream_a = bucketed_or_scan(
+                indices, starts, ends, state.copy(), lane_mask,
+                lane_mask, early_termination, fetch, insp_a,
+                kernel="generic",
+            )
+        insp_b = np.zeros(group_size, dtype=np.int64)
+        probes_b, acc_b, done_b = native.or_scan(
+            indices, starts, ends, state.copy(), lane_mask, lane_mask,
+            early_termination, source, insp_b,
+        )
+        np.testing.assert_array_equal(probes_b, probes_a)
+        np.testing.assert_array_equal(acc_b, acc_a)
+        np.testing.assert_array_equal(done_b, done_a)
+        np.testing.assert_array_equal(insp_b, insp_a)
+        if stream_a is not None:
+            np.testing.assert_array_equal(
+                native.round_major_probes(indices, starts, probes_b),
+                stream_a,
+            )
+
+    def test_or_scan_dirty_swap_restores_live_array(self, provider):
+        # The 5-tuple dirty source (with the aligned row list) is
+        # bulk-swapped into the live array around the scan; results
+        # must match the per-probe dirty_pos form and the live array
+        # must come back untouched.
+        n = 90
+        indices, starts, ends = _random_csr(50, n, 7)
+        base = RNG.integers(0, 2**63, size=(n, 1), dtype=np.uint64)
+        snapshot = base.copy()
+        lane_mask = np.full(1, np.uint64(2**64 - 1), dtype=np.uint64)
+        dirty_rows = np.sort(
+            RNG.choice(n, size=20, replace=False)
+        ).astype(np.int64)
+        saved = RNG.integers(0, 2**63, size=(20, 1), dtype=np.uint64)
+        dirty_pos = np.full(n, -1, dtype=np.int64)
+        dirty_pos[dirty_rows] = np.arange(20)
+        vertices = RNG.choice(n, size=50, replace=False)
+        state = base[vertices] & lane_mask
+
+        results = []
+        for source in (
+            ("dirty", base, dirty_pos, saved),
+            ("dirty", base, dirty_pos, saved, dirty_rows),
+        ):
+            insp = np.zeros(64, dtype=np.int64)
+            results.append(
+                native.or_scan(
+                    indices, starts, ends, state.copy(), lane_mask,
+                    lane_mask, True, source, insp,
+                )
+                + (insp,)
+            )
+            np.testing.assert_array_equal(base, snapshot)
+        for a, b in zip(results[0], results[1]):
+            np.testing.assert_array_equal(a, b)
+
+    def test_round_major_matches_argsort_formulation(self, provider):
+        indices, starts, ends = _random_csr(60, 300, 12)
+        probes = RNG.integers(0, 13, size=60).astype(np.int64)
+        probes = np.minimum(probes, ends - starts)
+        with native.force_backend("off"):
+            expected = round_major_probes(indices, starts, probes)
+        got = native.round_major_probes(indices, starts, probes)
+        np.testing.assert_array_equal(got, expected)
+
+    @pytest.mark.parametrize("size", [1, 31, 32, 33, 1000])
+    @pytest.mark.parametrize("element_bytes", [8, 12])
+    def test_coalesced_transactions_matches_memory_model(
+        self, provider, size, element_bytes
+    ):
+        from repro.gpusim.config import KEPLER_K40
+        from repro.gpusim.memory import MemoryModel
+
+        mem = MemoryModel(KEPLER_K40)
+        indices = RNG.integers(0, 4000, size=size).astype(np.int64)
+        with native.force_backend("off"):
+            expected = mem.coalesced_transactions(indices, element_bytes)
+        got = native.coalesced_transactions(
+            indices,
+            element_bytes,
+            mem.config.transaction_bytes,
+            mem.config.warp_size,
+        )
+        assert got == expected
+
+    def test_bottom_up_coalesced_matches_stream_pricing(self, provider):
+        from repro.gpusim.config import KEPLER_K40
+        from repro.gpusim.memory import MemoryModel
+
+        mem = MemoryModel(KEPLER_K40)
+        indices, starts, ends = _random_csr(120, 700, 40)
+        probes = np.minimum(
+            RNG.integers(0, 41, size=120).astype(np.int64), ends - starts
+        )
+        with native.force_backend("off"):
+            stream = round_major_probes(indices, starts, probes)
+            expected = mem.coalesced_transactions(stream, 8)
+        got = native.bottom_up_coalesced(
+            indices, starts, probes, 8,
+            mem.config.transaction_bytes, mem.config.warp_size,
+        )
+        assert got == expected
+        # CPU model: one transaction per probe.
+        assert native.bottom_up_coalesced(
+            indices, starts, probes, 8, mem.config.transaction_bytes, 1
+        ) == (int(probes.sum()), int(probes.sum()))
+        zero = np.zeros_like(probes)
+        assert native.bottom_up_coalesced(
+            indices, starts, zero, 8, mem.config.transaction_bytes, 32
+        ) == (0, 0)
+
+    @pytest.mark.parametrize("dtype", [np.int8, np.int16, np.int32])
+    @pytest.mark.parametrize("group_size", [1, 7, 64, 100])
+    def test_depth_update_matches_unpack_formulation(
+        self, provider, dtype, group_size
+    ):
+        from repro.kernels.bookkeeping import unpack_lane_bits
+
+        lanes = -(-group_size // 64)
+        depths = RNG.integers(-1, 5, size=(60, group_size)).astype(dtype)
+        rows = np.sort(
+            RNG.choice(60, size=25, replace=False)
+        ).astype(np.int64)
+        diff = RNG.integers(
+            0, 2**63, size=(25, lanes), dtype=np.uint64
+        )
+        if group_size % 64:
+            diff[:, -1] &= (
+                np.uint64(1) << np.uint64(group_size % 64)
+            ) - np.uint64(1)
+        expected = depths.copy()
+        upd = unpack_lane_bits(diff, group_size).astype(expected.dtype)
+        upd *= expected.dtype.type(5)
+        expected[rows] += upd
+        got = depths.copy()
+        native.depth_update(got, rows, diff, 5)
+        np.testing.assert_array_equal(got, expected)
+
+    @pytest.mark.parametrize("dtype", [np.int8, np.int16, np.int32])
+    def test_materialize_depths_matches_transpose(self, provider, dtype):
+        for n, gs in ((1, 1), (65, 3), (513, 64)):
+            src = RNG.integers(-1, 90, size=(n, gs)).astype(dtype)
+            expected = np.ascontiguousarray(src.T, dtype=np.int32)
+            got = native.materialize_depths(src)
+            assert got.dtype == np.int32
+            np.testing.assert_array_equal(got, expected)
+
+    @pytest.mark.parametrize("use_inst", [False, True])
+    def test_hit_scan_depth_matches_bucketed_hit_scan(
+        self, provider, use_inst
+    ):
+        n = 140
+        indices, starts, ends = _random_csr(70, n, 10)
+        degrees = ends - starts
+        level = 2
+        if use_inst:
+            depths = RNG.integers(-1, 5, size=(3, n)).astype(np.int32)
+            inst = RNG.integers(0, 3, size=70).astype(np.int64)
+
+            def hit(positions, nb):
+                d = depths[inst[positions], nb]
+                return (d >= 0) & (d <= level)
+        else:
+            depths = RNG.integers(-1, 5, size=n).astype(np.int32)
+            inst = None
+
+            def hit(positions, nb):
+                d = depths[nb]
+                return (d >= 0) & (d <= level)
+
+        with native.force_backend("off"):
+            probes_a, found_a = bucketed_hit_scan(
+                indices, starts, degrees, hit
+            )
+        probes_b, found_b = native.hit_scan_depth(
+            indices, starts, degrees, depths, level, inst=inst
+        )
+        np.testing.assert_array_equal(probes_b, probes_a)
+        np.testing.assert_array_equal(found_b, found_a)
+
+    @pytest.mark.parametrize("lanes", [1, 2])
+    def test_per_bit_ops_match_numpy(self, provider, lanes):
+        group_size = lanes * 64 - 5
+        words = RNG.integers(
+            0, 2**63, size=(90, lanes), dtype=np.uint64
+        )
+        mask = np.full(lanes, np.uint64(2**64 - 1), dtype=np.uint64)
+        mask[-1] = np.uint64((1 << (group_size - (lanes - 1) * 64)) - 1)
+        words &= mask
+        weights = RNG.integers(0, 1000, size=90).astype(np.int64)
+        with native.force_backend("off"):
+            counts_np = per_bit_counts(words, group_size)
+            weighted_np = per_bit_weighted(words, weights, group_size)
+        np.testing.assert_array_equal(
+            native.per_bit_counts(words, group_size), counts_np
+        )
+        np.testing.assert_array_equal(
+            native.per_bit_weighted(words, weights, group_size),
+            weighted_np,
+        )
+
+
+# ----------------------------------------------------------------------
+# Bookkeeping edge cases, both numpy and native paths
+# ----------------------------------------------------------------------
+BOOKKEEPING_BACKENDS = ["numpy"] + PROVIDERS
+
+
+@pytest.fixture(params=BOOKKEEPING_BACKENDS)
+def bookkeeping_kernel(request):
+    """(kernel kwarg, context) pairs: numpy keeps kernel=None."""
+    if request.param == "numpy":
+        with native.force_backend("off"):
+            yield None
+    else:
+        with native.force_backend(request.param):
+            yield "native"
+
+
+class TestBookkeepingEdgeCases:
+    def test_zero_width_frontier(self, bookkeeping_kernel):
+        words = np.empty((0, 2), dtype=np.uint64)
+        counts = per_bit_counts(words, 70, kernel=bookkeeping_kernel)
+        np.testing.assert_array_equal(counts, np.zeros(70, dtype=np.int64))
+        weighted = per_bit_weighted(
+            words, np.empty(0, dtype=np.int64), 70,
+            kernel=bookkeeping_kernel,
+        )
+        np.testing.assert_array_equal(weighted, np.zeros(70, dtype=np.int64))
+
+    @pytest.mark.parametrize("group_size", [1, 7, 13, 61, 127])
+    def test_group_size_not_multiple_of_eight(
+        self, bookkeeping_kernel, group_size
+    ):
+        lanes = (group_size + 63) // 64
+        words = RNG.integers(
+            0, 2**63, size=(50, lanes), dtype=np.uint64
+        )
+        mask = np.full(lanes, np.uint64(2**64 - 1), dtype=np.uint64)
+        mask[-1] = np.uint64(
+            (1 << (group_size - (lanes - 1) * 64)) - 1
+        )
+        words &= mask
+        weights = RNG.integers(0, 40, size=50).astype(np.int64)
+        bits = np.unpackbits(
+            words.view(np.uint8).reshape(50, -1), axis=1,
+            bitorder="little",
+        )[:, :group_size].astype(np.int64)
+        counts = per_bit_counts(
+            words, group_size, kernel=bookkeeping_kernel
+        )
+        np.testing.assert_array_equal(counts, bits.sum(axis=0))
+        weighted = per_bit_weighted(
+            words, weights, group_size, kernel=bookkeeping_kernel
+        )
+        np.testing.assert_array_equal(weighted, weights @ bits)
+
+    def test_single_lane_flat_input(self, bookkeeping_kernel):
+        # 1-D words (the flat single-lane layout) must behave exactly
+        # like their (rows, 1) view.
+        words = RNG.integers(0, 2**63, size=40, dtype=np.uint64)
+        counts_flat = per_bit_counts(words, 64, kernel=bookkeeping_kernel)
+        counts_2d = per_bit_counts(
+            words[:, None], 64, kernel=bookkeeping_kernel
+        )
+        np.testing.assert_array_equal(counts_flat, counts_2d)
+        weights = RNG.integers(0, 9, size=40).astype(np.int64)
+        np.testing.assert_array_equal(
+            per_bit_weighted(words, weights, 64, kernel=bookkeeping_kernel),
+            per_bit_weighted(
+                words[:, None], weights, 64, kernel=bookkeeping_kernel
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# Warm-up smoke on a real graph shape
+# ----------------------------------------------------------------------
+def test_warmup_is_idempotent_and_cheap_to_repeat(provider):
+    first = native.warmup()
+    second = native.warmup()
+    assert first == second  # cached seconds, not re-run
+
+
+def test_graph_scale_smoke(provider):
+    # One realistic CSR through every op, guarding shape/dtype plumbing.
+    graph = rmat(8, edge_factor=4, seed=5)
+    rev = graph.reverse()
+    frontier = np.arange(0, graph.num_vertices, 3, dtype=np.int64)
+    starts = rev.row_offsets[frontier]
+    ends = rev.row_offsets[frontier + 1]
+    bsa = np.zeros((graph.num_vertices, 1), dtype=np.uint64)
+    bsa[::2, 0] = np.uint64(0xFF)
+    lane_mask = np.array([0xFF], dtype=np.uint64)
+    insp = np.zeros(8, dtype=np.int64)
+    probes, acc, done = native.or_scan(
+        rev.col_indices.astype(np.int64), starts, ends,
+        (bsa[frontier] & lane_mask), lane_mask, lane_mask, True,
+        ("direct", bsa), insp,
+    )
+    assert probes.shape == frontier.shape
+    assert acc.dtype == np.uint64
+    assert done.dtype == bool

@@ -10,6 +10,7 @@ import warnings
 
 import pytest
 
+import repro.native as native
 from repro.errors import TraversalError
 from repro.core.engine import IBFSConfig
 from repro.core.groupby import GroupByConfig
@@ -250,11 +251,21 @@ class TestAdaptivePolicy:
     def test_width_and_kernel_follow_lane_count(
         self, group_size, width, kernel
     ):
-        session = AdaptivePolicy().session(group_size, 1000, 8000)
-        first = session.initial()
+        # The numpy-only resolution: without a compiled backend the
+        # session picks the flat/generic variant by lane count.
+        with native.force_backend("off"):
+            session = AdaptivePolicy().session(group_size, 1000, 8000)
+            first = session.initial()
         assert first.vector_width == width
         assert first.kernel == kernel
         assert first.directions == (TD,) * group_size
+
+    @pytest.mark.parametrize("group_size", [32, 128])
+    def test_kernel_resolves_native_when_backend_loads(self, group_size):
+        if not native.available():
+            pytest.skip("no native backend on this host")
+        session = AdaptivePolicy().session(group_size, 1000, 8000)
+        assert session.initial().kernel == "native"
 
 
 # ----------------------------------------------------------------------

@@ -80,6 +80,26 @@ class TestLevelDecision:
         with pytest.raises(TraversalError):
             LevelDecision.from_dict({})
 
+    def test_from_dict_rejects_unknown_kernel_with_typed_error(self):
+        # Payloads are how plans from newer hosts arrive; an unknown
+        # variant must fail with the constructor's exact message, not
+        # slip through to engine dispatch.
+        payload = decision().to_dict()
+        payload["kernel"] = "warp"
+        with pytest.raises(TraversalError, match="kernel must be one of"):
+            LevelDecision.from_dict(payload)
+        try:
+            decision(kernel="warp")
+        except TraversalError as exc:
+            constructor_message = str(exc)
+        with pytest.raises(TraversalError) as info:
+            LevelDecision.from_dict(payload)
+        assert str(info.value) == constructor_message
+
+    def test_native_dict_round_trip(self):
+        d = decision(kernel="native", snapshot="full")
+        assert LevelDecision.from_dict(d.to_dict()) == d
+
 
 class TestRunPlan:
     def make_plan(self):
@@ -104,12 +124,30 @@ class TestRunPlan:
         assert not td_only.needs_bottom_up
         assert self.make_plan().needs_bottom_up
 
+    def make_native_plan(self):
+        # The shape a native-host recording produces: every decision
+        # names the compiled variant explicitly.
+        plan = RunPlan(policy="adaptive", engine="bitwise", group_size=3)
+        plan.append(decision(kernel="native"))
+        plan.append(decision(directions=(BU, BU, BU), kernel="native"))
+        return plan
+
     def test_json_round_trip(self):
         plan = self.make_plan()
         assert RunPlan.from_json(plan.to_json()) == plan
 
     def test_pickle_round_trip(self):
         plan = self.make_plan()
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_native_json_round_trip(self):
+        plan = self.make_native_plan()
+        restored = RunPlan.from_json(plan.to_json())
+        assert restored == plan
+        assert all(d.kernel == "native" for d in restored)
+
+    def test_native_pickle_round_trip(self):
+        plan = self.make_native_plan()
         assert pickle.loads(pickle.dumps(plan)) == plan
 
     def test_from_json_rejects_malformed(self):
