@@ -15,6 +15,8 @@ run:
   workload and print (or export) serving metrics;
 * ``bench-serve`` — micro-batched vs one-request-one-traversal
   serving throughput on the same workload;
+* ``mutate`` — apply an edge-mutation batch to a stored graph,
+  report the repair-plan decision, and save the folded CSR;
 * ``metrics-dump`` — re-render the metric records of a ``run --trace``
   JSONL file as Prometheus text exposition format;
 * ``kernels`` — report which kernel backend (numba/cext/numpy) this
@@ -379,6 +381,27 @@ def _print_load_result(label: str, result) -> None:
           f"({cache['hits']} hits, {cache['evictions']} evictions)")
 
 
+def _churn_config(args: argparse.Namespace) -> "ChurnConfig":
+    from repro.stream import ChurnConfig
+
+    return ChurnConfig(
+        mutate_every=args.churn,
+        inserts_per_batch=args.churn_inserts,
+        deletes_per_batch=args.churn_deletes,
+        seed=args.seed + 1,
+    )
+
+
+def _print_epoch_summary(metrics: dict) -> None:
+    epochs = metrics["epochs"]
+    print(f"  epochs published  : {epochs['published']} "
+          f"({epochs['repairs']} repaired, "
+          f"{epochs['recomputes']} recomputed)")
+    print(f"  cache across swaps: {epochs['rows_repaired']} rows repaired, "
+          f"{epochs['rows_dropped']} dropped, "
+          f"{epochs['plans_purged']} plans purged")
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import BFSServer, run_closed_loop
 
@@ -389,6 +412,36 @@ def cmd_serve(args: argparse.Namespace) -> int:
               "(partitioned batches do not run on the replica pool)",
               file=sys.stderr)
         return 2
+    if args.churn > 0 and getattr(args, "workers", 0) > 0:
+        print("error: --churn and --workers are mutually exclusive "
+              "(worker processes map one immutable graph for their "
+              "lifetime; epoch swaps mutate it)", file=sys.stderr)
+        return 2
+    if args.churn > 0:
+        from repro.stream import DynamicBFSServer, run_churn_loop
+
+        planner = make_policy(args.policy) if args.policy else None
+        server = DynamicBFSServer(graph, serving, planner=planner)
+        try:
+            result, _ = run_churn_loop(
+                server, _workload_config(args), _churn_config(args)
+            )
+        finally:
+            server.close()
+        _print_load_result(
+            f"served {args.requests} {args.kind} requests with churn "
+            f"(mutation every {args.churn} completions: "
+            f"+{args.churn_inserts}/-{args.churn_deletes} edges)",
+            result,
+        )
+        _print_epoch_summary(result.metrics)
+        if args.metrics_json:
+            import json
+
+            with open(args.metrics_json, "w") as fh:
+                json.dump(result.metrics, fh, indent=2)
+            print(f"  metrics json      : {args.metrics_json}")
+        return 0
     planner = make_policy(args.policy) if args.policy else None
     executor = None
     if getattr(args, "workers", 0) > 0:
@@ -436,6 +489,33 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
 
     graph = _load_graph(args.graph)
     planner = make_policy(args.policy) if args.policy else None
+    if args.churn > 0:
+        from repro.service.loadgen import naive_config
+        from repro.stream import DynamicBFSServer, run_churn_loop
+
+        serving = _serving_config(args)
+        results = {}
+        for label, config in (
+            ("batched", serving), ("naive", naive_config(serving))
+        ):
+            server = DynamicBFSServer(graph, config, planner=planner)
+            try:
+                results[label], _ = run_churn_loop(
+                    server, _workload_config(args), _churn_config(args)
+                )
+            finally:
+                server.close()
+        _print_load_result("micro-batched serving under churn",
+                           results["batched"])
+        _print_epoch_summary(results["batched"].metrics)
+        _print_load_result("naive serving under churn", results["naive"])
+        naive_tput = results["naive"].throughput
+        speedup = (
+            results["batched"].throughput / naive_tput
+            if naive_tput > 0 else 0.0
+        )
+        print(f"throughput speedup  : {speedup:.2f}x")
+        return 0
     comparison = compare_serving(
         graph, _workload_config(args), _serving_config(args), planner=planner
     )
@@ -443,6 +523,63 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
     _print_load_result("naive serving (one request, one traversal)",
                        comparison["naive"])
     print(f"throughput speedup  : {comparison['speedup']:.2f}x")
+    return 0
+
+
+def _parse_edge_pairs(specs: List[str]) -> "tuple":
+    src: List[int] = []
+    dst: List[int] = []
+    for spec in specs:
+        try:
+            a, b = spec.split(":")
+            src.append(int(a))
+            dst.append(int(b))
+        except ValueError:
+            raise SystemExit(
+                f"error: bad edge spec {spec!r}; expected SRC:DST"
+            )
+    return np.asarray(src), np.asarray(dst)
+
+
+def cmd_mutate(args: argparse.Namespace) -> int:
+    from repro.graph import save_csr
+    from repro.stream import (
+        GraphOverlay,
+        plan_repair,
+        random_delete_batch,
+        random_insert_batch,
+    )
+
+    graph = _load_graph(args.graph)
+    overlay = GraphOverlay(graph)
+    rng = np.random.default_rng(args.seed)
+    if args.insert:
+        overlay.insert_edges(*_parse_edge_pairs(args.insert))
+    if args.delete:
+        overlay.delete_edges(*_parse_edge_pairs(args.delete))
+    if args.random_inserts:
+        overlay.insert_edges(
+            *random_insert_batch(graph.num_vertices, args.random_inserts, rng)
+        )
+    if args.random_deletes:
+        overlay.delete_edges(
+            *random_delete_batch(graph, args.random_deletes, rng)
+        )
+    if not overlay.has_pending:
+        print("error: nothing to mutate (pass --insert/--delete or "
+              "--random-inserts/--random-deletes)", file=sys.stderr)
+        return 2
+    batch = overlay.pending_batch()
+    folded = overlay.compact()
+    plan = plan_repair(batch, folded)
+    print(f"graph             : {args.graph}")
+    print(f"mutation batch    : +{batch.num_inserts} inserts, "
+          f"-{batch.num_deletes} deletes")
+    print(f"edges             : {graph.num_edges:,} -> {folded.num_edges:,}")
+    print(f"repair plan       : {plan.decision} ({plan.reason})")
+    if args.out:
+        save_csr(folded, args.out)
+        print(f"folded CSR        : {args.out}")
     return 0
 
 
@@ -646,6 +783,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="traversal planner policy (default: the "
                             "engine's heuristic policy)")
         p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--churn", type=int, default=0, metavar="N",
+                       help="mutate the graph every N completed requests "
+                            "(0 = static graph, the default)")
+        p.add_argument("--churn-inserts", type=int, default=8,
+                       help="edge inserts per mutation batch (with --churn)")
+        p.add_argument("--churn-deletes", type=int, default=0,
+                       help="edge deletes per mutation batch (with --churn; "
+                            "deletes force full cache recomputation)")
 
     serve = sub.add_parser(
         "serve", help="run the online serving layer under a closed-loop load"
@@ -674,6 +819,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_serving_args(bench)
     bench.set_defaults(func=cmd_bench_serve)
+
+    mut = sub.add_parser(
+        "mutate",
+        help="apply an edge-mutation batch to a graph and save the "
+             "folded CSR",
+    )
+    mut.add_argument("graph")
+    mut.add_argument("--insert", action="append", default=[],
+                     metavar="SRC:DST", help="insert one directed edge "
+                     "(repeatable)")
+    mut.add_argument("--delete", action="append", default=[],
+                     metavar="SRC:DST", help="delete every copy of one "
+                     "directed edge (repeatable)")
+    mut.add_argument("--random-inserts", type=int, default=0,
+                     help="additionally insert this many random edges")
+    mut.add_argument("--random-deletes", type=int, default=0,
+                     help="additionally delete this many existing edges, "
+                          "sampled uniformly")
+    mut.add_argument("--seed", type=int, default=42,
+                     help="seed for the random edge batches")
+    mut.add_argument("--out", default=None,
+                     help="write the folded CSR to this path")
+    mut.set_defaults(func=cmd_mutate)
 
     return parser
 

@@ -80,3 +80,10 @@ class WorkerCrashError(ExecutorError):
 class WorkerTimeoutError(ExecutorError):
     """Raised when a task exceeded the executor's wall-clock task
     timeout and the retry budget is exhausted."""
+
+
+class StreamError(ReproError):
+    """Raised by the dynamic-graph layer (:mod:`repro.stream`): invalid
+    mutation batches, misuse of epoch snapshots (pinning a reclaimed
+    epoch, mutating a published graph), or repair preconditions not met
+    (repairing across a delete batch)."""

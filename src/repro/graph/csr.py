@@ -232,10 +232,42 @@ class CSRGraph:
         return vertex_bytes * (self.row_offsets.size + self.col_indices.size)
 
     def copy(self) -> "CSRGraph":
-        """Deep copy (does not copy the cached reverse graph)."""
+        """Deep copy (does not copy the cached reverse graph).
+
+        The copy is mutable and unfingerprinted even when this graph is
+        :meth:`frozen <freeze>` — fresh arrays, fresh ``_cache_id``.
+        """
         return CSRGraph(
             self.row_offsets.copy(), self.col_indices.copy(), validate=False
         )
+
+    # ------------------------------------------------------------------
+    # Immutability
+    # ------------------------------------------------------------------
+    def freeze(self) -> "CSRGraph":
+        """Make the CSR arrays read-only; returns ``self``.
+
+        Every consumer that fingerprints a graph (`graph_cache_id`, shm
+        publication, epoch snapshots) keys caches by its content, so an
+        in-place mutation after fingerprinting would silently serve
+        stale cached depth rows.  Freezing turns that bug into an
+        immediate ``ValueError`` at the mutation site.  The cached
+        outdegree vector and an already-built reverse CSR are frozen
+        too (bottom-up traversal reads them); derived caches built
+        *after* the freeze stay writeable but are recomputed from the
+        frozen arrays, so they cannot drift.
+        """
+        for arr in (self.row_offsets, self.col_indices, self._out_degrees):
+            if arr is not None:
+                arr.flags.writeable = False
+        if self._reverse is not None and self._reverse.row_offsets.flags.writeable:
+            self._reverse.freeze()
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        """True once :meth:`freeze` has made the CSR arrays read-only."""
+        return not self.col_indices.flags.writeable
 
     # ------------------------------------------------------------------
     # Serialization (worker handoff)
@@ -270,6 +302,11 @@ class CSRGraph:
         if out_degrees is not None:
             graph._out_degrees = np.asarray(out_degrees, dtype=VERTEX_DTYPE)
         graph._cache_id = cache_id
+        if cache_id is not None:
+            # A fingerprint promises immutable content; carry the
+            # promise across pickling the same way graph_cache_id
+            # establishes it.
+            graph.freeze()
         return graph
 
     def __reduce__(self):

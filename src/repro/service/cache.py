@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import zlib
 from collections import OrderedDict
-from typing import Hashable, Optional, Sequence, Tuple
+from typing import Callable, Hashable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -53,6 +53,13 @@ def graph_cache_id(graph: CSRGraph) -> str:
         graph._cache_id = cache_id
     except AttributeError:
         pass
+    # The fingerprint is memoized forever, so the arrays must never
+    # change again: freeze them so an in-place mutation raises at the
+    # mutation site instead of silently serving stale cached depth rows
+    # keyed by the old content.
+    freeze = getattr(graph, "freeze", None)
+    if freeze is not None:
+        freeze()
     return cache_id
 
 
@@ -93,6 +100,9 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Entries dropped by :meth:`purge` (epoch re-fingerprinting),
+        #: counted separately from capacity evictions.
+        self.invalidations = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -123,6 +133,25 @@ class LRUCache:
     def clear(self) -> None:
         self._entries.clear()
 
+    def items(self) -> list:
+        """``(key, value)`` pairs in LRU order (oldest first), without
+        touching recency — used by the epoch layer to migrate entries
+        across a re-fingerprint while preserving eviction order."""
+        return list(self._entries.items())
+
+    def purge(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``.
+
+        Returns the number of entries dropped; the count also
+        accumulates into :attr:`invalidations` so cache statistics
+        distinguish epoch invalidation from capacity eviction.
+        """
+        doomed = [key for key in self._entries if predicate(key)]
+        for key in doomed:
+            del self._entries[key]
+        self.invalidations += len(doomed)
+        return len(doomed)
+
     @property
     def hit_rate(self) -> float:
         """Hits / lookups, 0.0 before any lookup."""
@@ -136,6 +165,7 @@ class LRUCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
             "hit_rate": self.hit_rate,
         }
 

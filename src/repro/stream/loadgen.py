@@ -1,0 +1,205 @@
+"""Churn-capable load generation: queries interleaved with mutations.
+
+Extends the closed-loop client model of :mod:`repro.service.loadgen`
+with a mutation stream: every ``mutate_every`` completed queries, one
+random edge batch (inserts and/or deletes, drawn from a seeded RNG)
+hits the :class:`~repro.stream.service.DynamicBFSServer`, publishing a
+new epoch mid-workload.  The run stays fully deterministic — same
+(graph, churn config, serving config) triple, same depths, same epoch
+history — because mutations fire at simulated-time barriers decided by
+the request stream, not by wall-clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import QueueFullError, ServiceError
+from repro.graph.csr import CSRGraph, VERTEX_DTYPE
+from repro.service.loadgen import LoadResult, WorkloadConfig, sample_sources
+from repro.service.request import Request, Response
+from repro.stream.service import DynamicBFSServer, EpochRecord
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Shape of the mutation stream riding along a workload."""
+
+    #: One mutation batch per this many completed queries (0 = never).
+    mutate_every: int = 64
+    #: Edge inserts per batch.
+    inserts_per_batch: int = 8
+    #: Edge deletes per batch (deletes force full cache recomputation,
+    #: so insert-only churn is the repair-path benchmark).
+    deletes_per_batch: int = 0
+    #: Seed for edge sampling (independent of the query-source seed).
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mutate_every < 0:
+            raise ServiceError("mutate_every must be non-negative")
+        if self.inserts_per_batch < 0:
+            raise ServiceError("inserts_per_batch must be non-negative")
+        if self.deletes_per_batch < 0:
+            raise ServiceError("deletes_per_batch must be non-negative")
+        if self.inserts_per_batch == 0 and self.deletes_per_batch == 0:
+            raise ServiceError(
+                "churn needs inserts_per_batch or deletes_per_batch > 0"
+            )
+
+
+def random_insert_batch(
+    num_vertices: int, count: int, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``count`` random directed edges over ``[0, num_vertices)``."""
+    src = rng.integers(0, num_vertices, size=count, dtype=VERTEX_DTYPE)
+    dst = rng.integers(0, num_vertices, size=count, dtype=VERTEX_DTYPE)
+    return src, dst
+
+
+def random_delete_batch(
+    graph: CSRGraph, count: int, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``count`` existing edges sampled uniformly from ``graph``
+    (fewer when the graph has fewer edges)."""
+    m = graph.num_edges
+    if m == 0 or count == 0:
+        empty = np.empty(0, dtype=VERTEX_DTYPE)
+        return empty, empty
+    picks = rng.choice(m, size=min(count, m), replace=False)
+    src_all = np.repeat(
+        np.arange(graph.num_vertices, dtype=VERTEX_DTYPE),
+        graph.out_degrees(),
+    )
+    return src_all[picks], graph.col_indices[picks]
+
+
+def run_churn_loop(
+    server: DynamicBFSServer,
+    workload: WorkloadConfig,
+    churn: ChurnConfig,
+) -> Tuple[LoadResult, List[EpochRecord]]:
+    """Drive a dynamic server with closed-loop clients plus churn.
+
+    Mirrors :func:`repro.service.loadgen.run_closed_loop`, firing one
+    mutation batch through :meth:`DynamicBFSServer.mutate` after every
+    ``churn.mutate_every`` completions.  Returns the usual
+    :class:`LoadResult` plus the epoch records the churn produced.
+    """
+    sources = sample_sources(
+        server.graph,
+        workload.num_requests,
+        workload.zipf_exponent,
+        workload.seed,
+    )
+    rng = np.random.default_rng(churn.seed)
+    n = server.graph.num_vertices
+
+    tiebreak = itertools.count()
+    issue_events: List[tuple] = []
+    for client in range(min(workload.num_clients, workload.num_requests)):
+        heapq.heappush(issue_events, (0.0, next(tiebreak), client))
+
+    owners: Dict[int, int] = {}
+    responses: List[Response] = []
+    records: List[EpochRecord] = []
+    issued = 0
+    shed = 0
+    completions_since_mutation = 0
+    start_clock = server.clock
+
+    def maybe_mutate() -> None:
+        nonlocal completions_since_mutation
+        if churn.mutate_every == 0:
+            return
+        if completions_since_mutation < churn.mutate_every:
+            return
+        completions_since_mutation = 0
+        inserts = (
+            random_insert_batch(n, churn.inserts_per_batch, rng)
+            if churn.inserts_per_batch
+            else None
+        )
+        deletes = (
+            random_delete_batch(
+                server.graph, churn.deletes_per_batch, rng
+            )
+            if churn.deletes_per_batch
+            else None
+        )
+        records.append(server.mutate(inserts=inserts, deletes=deletes))
+
+    def absorb(done: List[Response]) -> None:
+        nonlocal completions_since_mutation
+        for response in done:
+            responses.append(response)
+            completions_since_mutation += 1
+            client = owners.pop(response.request_id)
+            if issued < workload.num_requests or owners or issue_events:
+                heapq.heappush(
+                    issue_events,
+                    (
+                        response.completion_time + workload.think_time,
+                        next(tiebreak),
+                        client,
+                    ),
+                )
+        maybe_mutate()
+
+    def collect() -> None:
+        absorb(server.take_completed())
+
+    while issued < workload.num_requests or owners:
+        if issue_events and issued < workload.num_requests:
+            at, _, client = heapq.heappop(issue_events)
+            at = max(at, server.clock)
+            request = Request(
+                source=sources[issued],
+                kind=workload.kind,
+                max_depth=workload.max_depth,
+            )
+            try:
+                request_id = server.submit(request, arrival_time=at)
+            except QueueFullError:
+                shed += 1
+                issued += 1
+                heapq.heappush(
+                    issue_events,
+                    (at + workload.shed_backoff, next(tiebreak), client),
+                )
+                collect()
+                continue
+            owners[request_id] = client
+            issued += 1
+            collect()
+        elif owners:
+            # A mutation barrier inside absorb() may have flushed
+            # responses already; drain()'s returns go through the same
+            # bookkeeping so none are dropped on the floor.
+            if not server.step():
+                absorb(server.drain())
+            collect()
+        else:
+            break
+
+    absorb(server.drain())
+    collect()
+
+    elapsed = server.clock - start_clock
+    completed = sum(1 for r in responses if r.ok)
+    errored = sum(1 for r in responses if not r.ok)
+    result = LoadResult(
+        completed=completed,
+        shed=shed,
+        errored=errored,
+        elapsed=elapsed,
+        throughput=completed / elapsed if elapsed > 0 else 0.0,
+        metrics=server.metrics_snapshot(elapsed=elapsed),
+        responses=responses,
+    )
+    return result, records

@@ -1,0 +1,327 @@
+"""Epoch-aware BFS serving: mutations interleaved with queries.
+
+:class:`DynamicBFSServer` extends the discrete-event
+:class:`~repro.service.server.BFSServer` with a :meth:`mutate` verb.
+Each mutation batch is a *barrier* in simulated time: pending batches
+flush against the old epoch (queries admitted before the mutation see
+pre-mutation depths, bit-identically), then the overlay folds into a
+new epoch snapshot with its own ``graph_cache_id``, and the serving
+substrate — engine, optional partitioned engine, micro-batcher, cache
+keying — swaps onto the new graph.
+
+Cache handling per epoch swap, the part worth the subsystem:
+
+* **Plan cache** — recorded traversal plans embed old-graph frontier
+  structure; every old-epoch entry is purged (counted as an
+  invalidation, not an eviction).
+* **Result cache** — for *insert-only* batches within the repair cost
+  budget, cached depth rows are **repaired in place**: rows are
+  bucketed by ``max_depth``, repaired jointly as one matrix via
+  :func:`~repro.stream.repair.repair_depth_matrix`, and re-keyed to
+  the new epoch preserving LRU order.  The repaired rows are
+  bit-identical to re-traversing on the new graph, so post-mutation
+  cache hits stay exact.  Batches with deletes (or oversized insert
+  wavefronts) drop the old rows instead — correct, just colder.
+
+Every swap appends an :class:`EpochRecord`; ``metrics_snapshot`` gains
+an ``"epochs"`` section aggregating repair/invalidation counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.graph.csr import CSRGraph
+from repro.obs import tracing as obs_tracing
+from repro.service.cache import ResultCache
+from repro.service.server import BFSServer, ServingConfig
+from repro.stream.epoch import EpochStore, Snapshot
+from repro.stream.overlay import MutationBatch
+from repro.stream.repair import (
+    NOOP,
+    RECOMPUTE,
+    REPAIR,
+    RepairConfig,
+    plan_repair,
+    repair_depth_matrix,
+)
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Bookkeeping for one epoch swap (one :meth:`mutate` call)."""
+
+    epoch: int
+    time: float
+    inserts: int
+    deletes: int
+    #: Repair decision: "noop", "repair", or "recompute".
+    decision: str
+    reason: str
+    #: Depth rows patched across the swap (kept hot).
+    rows_repaired: int = 0
+    #: Depth rows dropped (cold restart for their sources).
+    rows_dropped: int = 0
+    #: Plan-cache entries purged.
+    plans_purged: int = 0
+    #: Scatter-min rounds the repair took (0 for noop/recompute).
+    repair_rounds: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "time": self.time,
+            "inserts": self.inserts,
+            "deletes": self.deletes,
+            "decision": self.decision,
+            "rows_repaired": self.rows_repaired,
+            "rows_dropped": self.rows_dropped,
+            "plans_purged": self.plans_purged,
+            "repair_rounds": self.repair_rounds,
+        }
+
+
+class DynamicBFSServer(BFSServer):
+    """A :class:`BFSServer` whose graph mutates between queries.
+
+    Parameters beyond :class:`BFSServer`'s: ``share`` publishes each
+    epoch snapshot over POSIX shared memory (reclaimed when the epoch
+    is superseded and unpinned), and ``repair_config`` tunes the
+    repair-vs-recompute cost model.  The multi-process ``executor``
+    backend is refused: executor workers pin one graph for their
+    lifetime, which is exactly what an epoch swap violates.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        serving: Optional[ServingConfig] = None,
+        share: bool = False,
+        repair_config: Optional[RepairConfig] = None,
+        **kwargs,
+    ) -> None:
+        if kwargs.get("executor") is not None:
+            raise ServiceError(
+                "DynamicBFSServer does not support the executor backend: "
+                "worker processes map one published graph for their "
+                "lifetime, but epochs swap the graph under the server"
+            )
+        self._groupby_config = kwargs.get("groupby_config")
+        self.epochs = EpochStore(graph, share=share)
+        self.repair_config = repair_config or RepairConfig()
+        self.epoch_records: List[EpochRecord] = []
+        super().__init__(
+            self.epochs.current.graph, serving=serving, **kwargs
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation surface
+    # ------------------------------------------------------------------
+    def mutate(
+        self,
+        inserts: Optional[Tuple] = None,
+        deletes: Optional[Tuple] = None,
+        arrival_time: Optional[float] = None,
+    ) -> EpochRecord:
+        """Apply one mutation batch and publish a new epoch.
+
+        ``inserts`` / ``deletes`` are ``(src, dst)`` array pairs.  The
+        call is a barrier at ``arrival_time`` (default: current clock):
+        everything already queued executes against the old epoch first;
+        requests submitted afterwards see the new one.  Returns the
+        :class:`EpochRecord` describing what happened to the caches.
+        """
+        now = self.clock if arrival_time is None else float(arrival_time)
+        if now < self.clock:
+            raise ServiceError(
+                f"mutation arrival {now} is before the server clock "
+                f"{self.clock}"
+            )
+        self.advance_to(now)
+        # Barrier: flush in-flight batches on the old epoch.  Completed
+        # responses stay queued for take_completed() as usual.
+        while len(self.batcher) > 0:
+            free = min(self._device_free)
+            self.clock = max(self.clock, free)
+            self._dispatch(self.clock, draining=True)
+
+        if inserts is not None:
+            self.epochs.overlay.insert_edges(*inserts)
+        if deletes is not None:
+            self.epochs.overlay.delete_edges(*deletes)
+        batch = self.epochs.overlay.pending_batch()
+        if batch.empty:
+            record = EpochRecord(
+                epoch=self.epochs.current_epoch,
+                time=self.clock,
+                inserts=0,
+                deletes=0,
+                decision=NOOP,
+                reason="empty batch",
+            )
+            self.epoch_records.append(record)
+            return record
+
+        old_graph_id = self._graph_id
+        with obs_tracing.get_tracer().span(
+            "stream.publish",
+            inserts=batch.num_inserts,
+            deletes=batch.num_deletes,
+        ) as span:
+            snap = self.epochs.publish()
+            plan = plan_repair(batch, snap.graph, self.repair_config)
+            self._swap_substrate(snap)
+            repaired, rounds = 0, 0
+            if plan.decision == REPAIR:
+                repaired, rounds = self._repair_result_cache(
+                    old_graph_id, snap, batch
+                )
+                dropped = 0
+            else:
+                dropped = self.cache.purge(
+                    lambda key: key[0] == old_graph_id
+                )
+            plans_purged = self.plan_cache.purge(
+                lambda key: key[0] == old_graph_id
+            )
+            if span is not None:
+                span.annotate(
+                    epoch=snap.epoch,
+                    decision=plan.decision,
+                    rows_repaired=repaired,
+                    rows_dropped=dropped,
+                    plans_purged=plans_purged,
+                )
+
+        record = EpochRecord(
+            epoch=snap.epoch,
+            time=self.clock,
+            inserts=batch.num_inserts,
+            deletes=batch.num_deletes,
+            decision=plan.decision,
+            reason=plan.reason,
+            rows_repaired=repaired,
+            rows_dropped=dropped,
+            plans_purged=plans_purged,
+            repair_rounds=rounds,
+        )
+        self.epoch_records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Epoch swap internals
+    # ------------------------------------------------------------------
+    def _swap_substrate(self, snap: Snapshot) -> None:
+        """Point the serving machinery at the new epoch's graph."""
+        from repro.core.engine import IBFS
+
+        self.graph = snap.graph
+        self.engine = IBFS(
+            snap.graph,
+            self.engine.config,
+            device=self.engine.device,
+            policy=self.engine.policy,
+            planner=self.engine.planner,
+        )
+        if self.partitioned is not None:
+            from repro.dist.engine import PartitionedEngine
+
+            old_config = self.partitioned.config
+            self.partitioned.close()
+            self.partitioned = PartitionedEngine(snap.graph, old_config)
+        self.batch_size = min(
+            self.serving.batch_size,
+            (self.partitioned or self.engine).effective_group_size(),
+        )
+        # The batcher is empty post-barrier; rebuild it so GroupBy sees
+        # the new adjacency and the new batch-size clamp.
+        from repro.service.batcher import MicroBatcher
+
+        self.batcher = MicroBatcher(
+            snap.graph,
+            self.batch_size,
+            self.serving.flush_deadline,
+            groupby=self.serving.groupby,
+            groupby_config=self._groupby_config,
+        )
+        self._graph_id = snap.graph_id
+        # engine_key is config-derived and stable across epochs; the
+        # graph_id swap alone re-namespaces both caches.
+
+    def _repair_result_cache(
+        self, old_graph_id: str, snap: Snapshot, batch: MutationBatch
+    ) -> Tuple[int, int]:
+        """Patch cached depth rows onto the new epoch, preserving LRU
+        order.  Returns ``(rows_repaired, total_rounds)``."""
+        entries = self.cache.items()
+        # Bucket old-epoch rows by the max_depth they were computed
+        # under; each bucket repairs jointly as one (k, n) matrix.
+        buckets: Dict[Optional[int], List[Tuple[int, np.ndarray]]] = {}
+        for key, row in entries:
+            if key[0] == old_graph_id and key[2] == self._engine_key:
+                buckets.setdefault(key[3], []).append((key[1], row))
+        if not buckets:
+            return 0, 0
+        repaired_rows: Dict[Tuple, np.ndarray] = {}
+        total_rounds = 0
+        for max_depth, rows in buckets.items():
+            matrix = np.stack([row for _, row in rows])
+            fixed, rounds = repair_depth_matrix(
+                snap.graph, batch, matrix, max_depth=max_depth
+            )
+            total_rounds += rounds
+            for i, (source, _) in enumerate(rows):
+                new_key = ResultCache.key(
+                    snap.graph_id, source, self._engine_key, max_depth
+                )
+                repaired_rows[(old_graph_id, source,
+                               self._engine_key, max_depth)] = (
+                    new_key,
+                    fixed[i],
+                )
+        # Rebuild the cache in its original LRU order, swapping each
+        # old-epoch entry for its repaired, re-keyed row.
+        self.cache.clear()
+        for key, row in entries:
+            swap = repaired_rows.get(key)
+            if swap is not None:
+                self.cache.put(swap[0], swap[1])
+            elif key[0] == old_graph_id:
+                # Same graph id, different engine key (cannot happen on
+                # one server, but stay safe): drop rather than serve a
+                # row we did not repair.
+                self.cache.invalidations += 1
+            else:
+                self.cache.put(key, row)
+        return len(repaired_rows), total_rounds
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self, elapsed: Optional[float] = None) -> dict:
+        """Server metrics plus the ``"epochs"`` section: swap history
+        and aggregate repair/invalidation counters."""
+        payload = super().metrics_snapshot(elapsed=elapsed)
+        records = self.epoch_records
+        payload["epochs"] = {
+            "current_epoch": self.epochs.current_epoch,
+            "published": sum(1 for r in records if r.decision != NOOP),
+            "repairs": sum(1 for r in records if r.decision == REPAIR),
+            "recomputes": sum(
+                1 for r in records if r.decision == RECOMPUTE
+            ),
+            "rows_repaired": sum(r.rows_repaired for r in records),
+            "rows_dropped": sum(r.rows_dropped for r in records),
+            "plans_purged": sum(r.plans_purged for r in records),
+            "reclaimed_epochs": self.epochs.reclaimed_epochs,
+            "history": [r.to_dict() for r in records],
+        }
+        return payload
+
+    def close(self) -> None:
+        super().close()
+        self.epochs.close()

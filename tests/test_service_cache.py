@@ -102,5 +102,6 @@ class TestFingerprints:
             "hits": 1,
             "misses": 1,
             "evictions": 0,
+            "invalidations": 0,
             "hit_rate": 0.5,
         }

@@ -1,0 +1,164 @@
+"""Epoch store lifecycle and the frozen-snapshot immutability contract."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.graph.builders import from_edge_arrays
+from repro.graph.csr import VERTEX_DTYPE
+from repro.graph.generators import kronecker
+from repro.service.cache import graph_cache_id
+from repro.stream import EpochStore
+
+
+def small_graph(seed=3):
+    return kronecker(scale=6, edge_factor=4, seed=seed)
+
+
+class TestEpochLifecycle:
+    def test_epoch_zero_is_the_base(self):
+        base = small_graph()
+        with EpochStore(base) as store:
+            assert store.current_epoch == 0
+            assert store.current.graph is base
+            assert store.live_epochs() == [0]
+
+    def test_publish_advances_epoch_and_reclaims_old(self):
+        with EpochStore(small_graph()) as store:
+            store.overlay.insert_edges([0], [1])
+            snap = store.publish()
+            assert snap.epoch == 1
+            assert store.current_epoch == 1
+            # Epoch 0 had no pins: reclaimed on publish.
+            assert store.live_epochs() == [1]
+            assert store.reclaimed_epochs == 1
+            with pytest.raises(StreamError):
+                store.snapshot(0)
+
+    def test_publish_without_pending_is_noop(self):
+        with EpochStore(small_graph()) as store:
+            snap = store.publish()
+            assert snap.epoch == 0
+            assert store.current_epoch == 0
+
+    def test_each_epoch_gets_its_own_fingerprint(self):
+        with EpochStore(small_graph()) as store:
+            ids = {store.current.graph_id}
+            for v in range(3):
+                store.overlay.insert_edges([v], [v + 1])
+                ids.add(store.publish().graph_id)
+            assert len(ids) == 4
+
+    def test_pin_keeps_superseded_epoch_alive(self):
+        with EpochStore(small_graph()) as store:
+            token = store.pin()
+            old = store.current.graph
+            store.overlay.insert_edges([0], [1])
+            store.publish()
+            assert store.live_epochs() == [0, 1]
+            # The pinned snapshot still answers queries on the old graph.
+            snap = store.snapshot(0)
+            assert snap.graph is old
+            store.unpin(token)
+            assert store.live_epochs() == [1]
+
+    def test_unpin_unknown_epoch_is_noop(self):
+        with EpochStore(small_graph()) as store:
+            token = store.pin()
+            store.unpin(token)
+            store.unpin(token)  # double unpin tolerated
+
+    def test_pin_reclaimed_epoch_raises(self):
+        with EpochStore(small_graph()) as store:
+            store.overlay.insert_edges([0], [1])
+            store.publish()
+            with pytest.raises(StreamError):
+                store.pin(epoch=0)
+
+    def test_gc_drops_pins_of_dead_processes(self):
+        with EpochStore(small_graph()) as store:
+            # A pid that cannot exist: beyond pid_max on Linux.
+            store.pin(pid=2 ** 30)
+            store.overlay.insert_edges([0], [1])
+            store.publish()
+            assert store.live_epochs() == [1]
+            assert store.reclaimed_epochs == 1
+
+    def test_live_pid_pin_survives_gc(self):
+        import os
+
+        with EpochStore(small_graph()) as store:
+            store.pin(pid=os.getpid())
+            store.overlay.insert_edges([0], [1])
+            store.publish()
+            assert store.live_epochs() == [0, 1]
+
+    def test_closed_store_refuses_use(self):
+        store = EpochStore(small_graph())
+        store.close()
+        with pytest.raises(StreamError):
+            store.pin()
+        with pytest.raises(StreamError):
+            store.publish()
+        store.close()  # idempotent
+
+
+class TestFrozenSnapshots:
+    """Satellite regression: a fingerprinted graph must refuse in-place
+    mutation — the fingerprint is memoized forever, so silent mutation
+    would serve stale cached depth rows keyed by the old content."""
+
+    def test_fingerprinting_freezes_the_arrays(self):
+        graph = small_graph(seed=8)
+        assert not graph.frozen
+        graph_cache_id(graph)
+        assert graph.frozen
+        with pytest.raises(ValueError):
+            graph.col_indices[0] = 0
+        with pytest.raises(ValueError):
+            graph.row_offsets[1] = 99
+
+    def test_freeze_covers_cached_degrees_and_reverse(self):
+        graph = small_graph(seed=9)
+        graph.out_degrees()
+        graph.reverse()
+        graph.freeze()
+        with pytest.raises(ValueError):
+            graph.out_degrees()[0] = 7
+        with pytest.raises(ValueError):
+            graph.reverse().col_indices[0] = 0
+
+    def test_published_snapshots_are_frozen(self):
+        with EpochStore(small_graph(seed=10)) as store:
+            store.overlay.insert_edges([0], [2])
+            snap = store.publish()
+            assert snap.graph.frozen
+            with pytest.raises(ValueError):
+                snap.graph.col_indices[0] = 0
+
+    def test_copy_of_frozen_graph_is_mutable(self):
+        graph = small_graph(seed=11)
+        graph_cache_id(graph)
+        clone = graph.copy()
+        assert not clone.frozen
+        clone.col_indices[0] = 0  # fresh arrays, no fingerprint: fine
+
+    def test_frozen_survives_pickle(self):
+        import pickle
+
+        graph = small_graph(seed=12)
+        graph_cache_id(graph)
+        clone = pickle.loads(pickle.dumps(graph))
+        assert clone.frozen
+        assert clone._cache_id == graph._cache_id
+        with pytest.raises(ValueError):
+            clone.col_indices[0] = 0
+
+    def test_unfingerprinted_graph_stays_writeable(self):
+        graph = from_edge_arrays(
+            np.asarray([0], dtype=VERTEX_DTYPE),
+            np.asarray([1], dtype=VERTEX_DTYPE),
+            num_vertices=2,
+        )
+        graph.col_indices[0] = 1  # never fingerprinted: still mutable
+        assert not graph.frozen

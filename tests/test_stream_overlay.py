@@ -1,0 +1,195 @@
+"""Delta/CSR overlay: batching, folding, and the compaction contract."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.graph.builders import from_edge_arrays
+from repro.graph.csr import VERTEX_DTYPE
+from repro.graph.generators import kronecker
+from repro.stream import GraphOverlay, MutationBatch, apply_batch
+
+
+def edges(*pairs):
+    src = np.asarray([p[0] for p in pairs], dtype=VERTEX_DTYPE)
+    dst = np.asarray([p[1] for p in pairs], dtype=VERTEX_DTYPE)
+    return src, dst
+
+
+def rebuild(graph, inserts=None, deletes=None):
+    """Reference fold: rebuild from the equivalent edge list with the
+    stable from_edge_arrays builder."""
+    n = graph.num_vertices
+    src, dst = graph.edge_array()
+    if deletes is not None:
+        keys = src * np.int64(n) + dst
+        dsrc, ddst = deletes
+        dkeys = (np.asarray(dsrc, dtype=np.int64) * n
+                 + np.asarray(ddst, dtype=np.int64))
+        keep = ~np.isin(keys, dkeys)
+        src, dst = src[keep], dst[keep]
+    if inserts is not None:
+        src = np.concatenate([src, np.asarray(inserts[0], dtype=VERTEX_DTYPE)])
+        dst = np.concatenate([dst, np.asarray(inserts[1], dtype=VERTEX_DTYPE)])
+    return from_edge_arrays(src, dst, num_vertices=n)
+
+
+class TestMutationBatch:
+    def test_make_validates_range(self):
+        with pytest.raises(StreamError):
+            MutationBatch.make(4, inserts=edges((0, 4)))
+        with pytest.raises(StreamError):
+            MutationBatch.make(4, deletes=edges((-1, 0)))
+
+    def test_make_validates_shape(self):
+        with pytest.raises(StreamError):
+            MutationBatch.make(
+                4, inserts=(np.array([0, 1]), np.array([2]))
+            )
+
+    def test_flags(self):
+        empty = MutationBatch.make(4)
+        assert empty.empty and empty.insert_only
+        ins = MutationBatch.make(4, inserts=edges((0, 1)))
+        assert not ins.empty and ins.insert_only
+        dele = MutationBatch.make(4, deletes=edges((0, 1)))
+        assert not dele.empty and not dele.insert_only
+        assert ins.num_inserts == 1 and dele.num_deletes == 1
+
+
+class TestApplyBatch:
+    def test_insert_appends_per_source_in_order(self):
+        graph = from_edge_arrays(*edges((0, 1), (0, 2), (1, 2)),
+                                 num_vertices=4)
+        batch = MutationBatch.make(4, inserts=edges((0, 3), (2, 0), (0, 1)))
+        folded = apply_batch(graph, batch)
+        # Vertex 0's old adjacency [1, 2] keeps its order; inserts
+        # (0,3) then (0,1) append after it in submission order.
+        assert folded.neighbors(0).tolist() == [1, 2, 3, 1]
+        assert folded.neighbors(2).tolist() == [0]
+
+    def test_delete_removes_every_copy(self):
+        graph = from_edge_arrays(
+            *edges((0, 1), (0, 1), (0, 2), (0, 1)), num_vertices=3
+        )
+        batch = MutationBatch.make(3, deletes=edges((0, 1)))
+        folded = apply_batch(graph, batch)
+        assert folded.neighbors(0).tolist() == [2]
+        assert folded.num_edges == 1
+
+    def test_deletes_apply_before_inserts(self):
+        graph = from_edge_arrays(*edges((0, 1)), num_vertices=2)
+        batch = MutationBatch.make(
+            2, inserts=edges((0, 1)), deletes=edges((0, 1))
+        )
+        folded = apply_batch(graph, batch)
+        # The old copy dies, the inserted copy survives.
+        assert folded.neighbors(0).tolist() == [1]
+
+    def test_matches_rebuild_bit_identically(self):
+        graph = kronecker(scale=7, edge_factor=6, seed=11)
+        n = graph.num_vertices
+        rng = np.random.default_rng(5)
+        ins = (rng.integers(0, n, 30, dtype=VERTEX_DTYPE),
+               rng.integers(0, n, 30, dtype=VERTEX_DTYPE))
+        src_all, dst_all = graph.edge_array()
+        picks = rng.choice(graph.num_edges, 20, replace=False)
+        dels = (src_all[picks], dst_all[picks])
+        batch = MutationBatch.make(n, inserts=ins, deletes=dels)
+        folded = apply_batch(graph, batch)
+        ref = rebuild(graph, inserts=ins, deletes=dels)
+        assert np.array_equal(folded.row_offsets, ref.row_offsets)
+        assert np.array_equal(folded.col_indices, ref.col_indices)
+
+    def test_delete_missing_edge_is_noop(self):
+        graph = from_edge_arrays(*edges((0, 1)), num_vertices=3)
+        folded = apply_batch(
+            graph, MutationBatch.make(3, deletes=edges((1, 2)))
+        )
+        assert folded == graph
+
+
+class TestGraphOverlay:
+    def test_commit_folds_and_clears_pending(self):
+        overlay = GraphOverlay(
+            from_edge_arrays(*edges((0, 1)), num_vertices=3)
+        )
+        overlay.insert_edges([1], [2])
+        assert overlay.has_pending
+        folded, batch = overlay.commit()
+        assert not overlay.has_pending
+        assert batch.num_inserts == 1
+        assert folded.neighbors(1).tolist() == [2]
+        assert overlay.current is folded
+        assert overlay.commits == 1
+        assert overlay.total_inserted == 1
+
+    def test_empty_commit_returns_current(self):
+        base = from_edge_arrays(*edges((0, 1)), num_vertices=2)
+        overlay = GraphOverlay(base)
+        folded, batch = overlay.commit()
+        assert folded is base and batch.empty
+        assert overlay.commits == 0
+
+    def test_base_graph_untouched(self):
+        base = kronecker(scale=6, edge_factor=4, seed=2)
+        before = base.col_indices.copy()
+        overlay = GraphOverlay(base)
+        overlay.insert_edges([0, 1], [2, 3])
+        overlay.delete_edges([int(base.neighbors(0)[0])], [0])
+        overlay.compact()
+        assert np.array_equal(base.col_indices, before)
+        assert overlay.base is base
+
+    def test_merged_neighbors_view_before_commit(self):
+        overlay = GraphOverlay(
+            from_edge_arrays(*edges((0, 1), (0, 2)), num_vertices=4)
+        )
+        overlay.delete_edges([0], [1])
+        overlay.insert_edges([0], [3])
+        assert overlay.neighbors(0).tolist() == [2, 3]
+        # The view matches what commit will materialize.
+        folded = overlay.compact()
+        assert folded.neighbors(0).tolist() == [2, 3]
+
+    def test_num_edges_tracks_pending(self):
+        overlay = GraphOverlay(
+            from_edge_arrays(*edges((0, 1), (1, 2)), num_vertices=3)
+        )
+        overlay.insert_edges([2], [0])
+        assert overlay.num_edges == 3
+        overlay.delete_edges([0], [1])
+        assert overlay.num_edges == 2
+
+    def test_total_deleted_counts_all_copies(self):
+        overlay = GraphOverlay(
+            from_edge_arrays(*edges((0, 1), (0, 1)), num_vertices=2)
+        )
+        overlay.delete_edges([0], [1])
+        overlay.commit()
+        assert overlay.total_deleted == 2
+
+    def test_out_of_range_rejected(self):
+        overlay = GraphOverlay(
+            from_edge_arrays(*edges((0, 1)), num_vertices=2)
+        )
+        with pytest.raises(StreamError):
+            overlay.insert_edges([0], [2])
+        with pytest.raises(StreamError):
+            overlay.neighbors(5)
+
+    def test_sequential_commits_compose(self):
+        base = kronecker(scale=6, edge_factor=4, seed=7)
+        n = base.num_vertices
+        overlay = GraphOverlay(base)
+        overlay.insert_edges([0, 1], [3, 4])
+        first = overlay.compact()
+        overlay.insert_edges([2], [5])
+        second = overlay.compact()
+        ref = rebuild(
+            rebuild(base, inserts=edges((0, 3), (1, 4))),
+            inserts=edges((2, 5)),
+        )
+        assert np.array_equal(second.col_indices, ref.col_indices)
+        assert first.num_edges == base.num_edges + 2
+        assert second.num_edges == base.num_edges + 3
