@@ -27,7 +27,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -40,6 +39,7 @@ from repro.obs import export as obs_export
 from repro.obs import metrics as obs_metrics
 from repro.obs import profile as obs_profile
 from repro.obs import tracing as obs_tracing
+from repro.obs.ledger import Ledger, save_ledger
 from repro.obs.profile import OVERHEAD_BUDGET
 
 SOURCE_SEED = 23
@@ -69,17 +69,12 @@ def observability_on():
     return tracer
 
 
-def time_group(graph, sources, repeats):
-    """Best-of-``repeats`` wall seconds for one joint group run."""
-    best = float("inf")
-    for _ in range(repeats):
-        engine = BitwiseTraversal(graph)
-        start = time.perf_counter()
-        engine.run_group(sources)
-        elapsed = time.perf_counter() - start
-        if elapsed < best:
-            best = elapsed
-    return best
+def time_group(graph, sources):
+    """Wall seconds for one joint group run on a fresh engine."""
+    engine = BitwiseTraversal(graph)
+    start = time.perf_counter()
+    engine.run_group(sources)
+    return time.perf_counter() - start
 
 
 def run_config(name, scale, edge_factor, group_size, repeats):
@@ -91,9 +86,19 @@ def run_config(name, scale, edge_factor, group_size, repeats):
     observability_off()
     BitwiseTraversal(graph).run_group(sources)
 
-    off_s = time_group(graph, sources, repeats)
+    # Off and on runs interleave within each repeat so slow host drift
+    # (frequency scaling, background load) hits both states equally
+    # instead of biasing the enabled/disabled ratio; best-of-repeats
+    # then strips the remaining one-sided noise.
     tracer = observability_on()
-    on_s = time_group(graph, sources, repeats)
+    off_s = float("inf")
+    on_s = float("inf")
+    for _ in range(repeats):
+        observability_off()
+        off_s = min(off_s, time_group(graph, sources))
+        obs_tracing.set_tracer(tracer)
+        obs_profile.configure(enabled=True, sample_every=1)
+        on_s = min(on_s, time_group(graph, sources))
     span_count = len(tracer.finished)
     observability_off()
 
@@ -198,8 +203,11 @@ def main(argv=None):
         "budget": OVERHEAD_BUDGET,
         "results": results,
     }
-    output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {output}")
+    # Results land in the unified bench-ledger schema so `repro
+    # bench-diff` can gate run-over-run regressions directly.
+    ledger = Ledger.from_legacy(payload)
+    save_ledger(ledger, str(output))
+    print(f"wrote {output} (repro.bench-ledger/v1)")
 
     if args.trace is not None:
         hub = publish(results, obs_metrics.MetricsHub())

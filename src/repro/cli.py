@@ -19,6 +19,12 @@ run:
   report the repair-plan decision, and save the folded CSR;
 * ``metrics-dump`` — re-render the metric records of a ``run --trace``
   JSONL file as Prometheus text exposition format;
+* ``trace-report`` — attribute a recorded trace: top spans, per-wave
+  waterfall + critical path, per-level rows, substrate comparison;
+* ``slo`` — replay a recorded trace through the declarative SLO
+  engine and report burn rates and breach/resolve alerts;
+* ``bench-diff`` — compare two benchmark ledgers (new-schema or
+  legacy ``BENCH_*.json``) and flag regressions;
 * ``kernels`` — report which kernel backend (numba/cext/numpy) this
   host resolves and its warm-up cost.
 
@@ -402,11 +408,48 @@ def _print_epoch_summary(metrics: dict) -> None:
           f"{epochs['plans_purged']} plans purged")
 
 
+def _make_slo_engine(args: argparse.Namespace):
+    """SLO engine for ``serve --slo`` (hub-wired default specs)."""
+    if not getattr(args, "slo", False):
+        return None
+    from repro import obs
+
+    return obs.SLOEngine(hub=obs.get_hub())
+
+
+def _print_slo_summary(engine) -> None:
+    if engine is None:
+        return
+    breaches = sum(1 for a in engine.alerts if a.kind == "breach")
+    breached_now = sum(
+        1 for s in engine._last_status if s.breached
+    )
+    print(f"  slo               : {len(engine.specs)} specs, "
+          f"{breaches} breach alerts, {breached_now} currently breached")
+
+
+def _maybe_write_trace(args: argparse.Namespace, tracer) -> None:
+    if tracer is None:
+        return
+    from repro import obs
+
+    lines = obs.write_jsonl(
+        args.trace, obs.trace_records(tracer, obs.get_hub())
+    )
+    print(f"  trace             : {args.trace} ({lines} records)")
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import BFSServer, run_closed_loop
 
     graph = _load_graph(args.graph)
     serving = _serving_config(args)
+    tracer = None
+    if getattr(args, "trace", None):
+        from repro import obs
+
+        tracer = obs.configure_tracing(process="serve")
+        obs.configure_profiling(enabled=True)
     if serving.partitions > 0 and getattr(args, "workers", 0) > 0:
         print("error: --partitions and --workers are mutually exclusive "
               "(partitioned batches do not run on the replica pool)",
@@ -417,11 +460,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
               "(worker processes map one immutable graph for their "
               "lifetime; epoch swaps mutate it)", file=sys.stderr)
         return 2
+    slo_engine = _make_slo_engine(args)
     if args.churn > 0:
         from repro.stream import DynamicBFSServer, run_churn_loop
 
         planner = make_policy(args.policy) if args.policy else None
-        server = DynamicBFSServer(graph, serving, planner=planner)
+        server = DynamicBFSServer(
+            graph, serving, planner=planner, slo=slo_engine
+        )
         try:
             result, _ = run_churn_loop(
                 server, _workload_config(args), _churn_config(args)
@@ -435,12 +481,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
             result,
         )
         _print_epoch_summary(result.metrics)
+        _print_slo_summary(slo_engine)
         if args.metrics_json:
             import json
 
             with open(args.metrics_json, "w") as fh:
                 json.dump(result.metrics, fh, indent=2)
             print(f"  metrics json      : {args.metrics_json}")
+        _maybe_write_trace(args, tracer)
         return 0
     planner = make_policy(args.policy) if args.policy else None
     executor = None
@@ -458,7 +506,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     server = None
     try:
         server = BFSServer(
-            graph, serving, executor=executor, planner=planner
+            graph, serving, executor=executor, planner=planner,
+            slo=slo_engine,
         )
         result = run_closed_loop(server, _workload_config(args))
     finally:
@@ -475,12 +524,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         stats = executor.last_stats
         print(f"  exec backend      : {stats.backend} "
               f"({stats.num_workers} workers, {stats.scheduler})")
+    _print_slo_summary(slo_engine)
     if args.metrics_json:
         import json
 
         with open(args.metrics_json, "w") as fh:
             json.dump(result.metrics, fh, indent=2)
         print(f"  metrics json      : {args.metrics_json}")
+    _maybe_write_trace(args, tracer)
     return 0
 
 
@@ -592,6 +643,59 @@ def cmd_metrics_dump(args: argparse.Namespace) -> int:
         print(f"no metric records in {args.trace}", file=sys.stderr)
         return 1
     sys.stdout.write(obs.render_prometheus(metrics))
+    return 0
+
+
+def cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    # Streamed: the JSONL parses incrementally and only span/metric
+    # records are retained for attribution.
+    records = [
+        r for r in obs.iter_jsonl(args.trace)
+        if r.get("kind") in ("span", "metric")
+    ]
+    if not any(r.get("kind") == "span" for r in records):
+        print(f"no span records in {args.trace}", file=sys.stderr)
+        return 1
+    sys.stdout.write(
+        obs.render_trace_report(
+            records,
+            top=args.top,
+            max_waves=args.max_waves,
+            max_levels=args.max_levels,
+        )
+    )
+    return 0
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    specs = obs.load_slo_specs(args.specs) if args.specs else None
+    engine = obs.SLOEngine(specs)
+    obs.replay_trace(obs.iter_jsonl(args.trace), engine)
+    sys.stdout.write(obs.render_slo_report(engine))
+    if args.check and any(a.kind == "breach" for a in engine.alerts):
+        print("slo check failed: breach alerts were emitted",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_bench_diff(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    old = obs.load_ledger(args.old)
+    new = obs.load_ledger(args.new)
+    diff = obs.diff_ledgers(old, new, tolerance=args.tolerance)
+    sys.stdout.write(
+        obs.render_diff(diff, old_label=args.old, new_label=args.new)
+    )
+    if diff.regressions:
+        print(f"bench-diff: {len(diff.regressions)} regression(s) "
+              f"beyond {args.tolerance:.0%} tolerance", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -760,6 +864,50 @@ def build_parser() -> argparse.ArgumentParser:
     mdump.add_argument("trace", help="JSONL trace written by `run --trace`")
     mdump.set_defaults(func=cmd_metrics_dump)
 
+    treport = sub.add_parser(
+        "trace-report",
+        help="attribute a recorded trace: top spans, per-wave waterfall "
+             "and critical path, substrate comparison",
+    )
+    treport.add_argument(
+        "trace", help="JSONL trace written by `run --trace` or "
+        "`serve --trace`"
+    )
+    treport.add_argument("--top", type=int, default=12,
+                         help="rows in the top-spans table")
+    treport.add_argument("--max-waves", type=int, default=8,
+                         help="serving waves detailed individually")
+    treport.add_argument("--max-levels", type=int, default=12,
+                         help="per-level rows shown per wave")
+    treport.set_defaults(func=cmd_trace_report)
+
+    slo = sub.add_parser(
+        "slo",
+        help="replay a recorded trace through the SLO engine and report "
+             "burn rates and breach/resolve alerts",
+    )
+    slo.add_argument(
+        "trace", help="JSONL trace written by `serve --trace`"
+    )
+    slo.add_argument("--specs", default=None, metavar="PATH",
+                     help="JSON file of SLO specs (default: the built-in "
+                          "latency/error/queue/staleness objectives)")
+    slo.add_argument("--check", action="store_true",
+                     help="exit 1 if any breach alert fires during replay")
+    slo.set_defaults(func=cmd_slo)
+
+    bdiff = sub.add_parser(
+        "bench-diff",
+        help="compare two benchmark ledgers (new-schema or legacy "
+             "BENCH_*.json) and flag regressions",
+    )
+    bdiff.add_argument("old", help="baseline ledger path")
+    bdiff.add_argument("new", help="candidate ledger path")
+    bdiff.add_argument("--tolerance", type=float, default=0.05,
+                       help="fractional band a metric may move before "
+                            "being flagged (default 0.05)")
+    bdiff.set_defaults(func=cmd_bench_diff)
+
     def add_serving_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("graph")
         p.add_argument("--requests", type=int, default=512,
@@ -811,6 +959,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "whole-graph, the default)")
     serve.add_argument("--layout", choices=("1d", "2d"), default="1d",
                        help="partition layout (with --partitions)")
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="enable tracing + profiling and write the "
+                            "serve trace as JSON lines to PATH")
+    serve.add_argument("--slo", action="store_true",
+                       help="evaluate the built-in SLOs live against the "
+                            "workload and include them in the metrics "
+                            "snapshot")
     serve.set_defaults(func=cmd_serve)
 
     bench = sub.add_parser(

@@ -1,7 +1,7 @@
 """repro.obs — the unified observability spine.
 
-Four small modules replace the four private telemetry formats that grew
-up in the service, exec, kernels, and gpusim layers:
+The recording modules replace the four private telemetry formats that
+grew up in the service, exec, kernels, and gpusim layers:
 
 * :mod:`repro.obs.tracing` — span API with explicit clocks and
   cross-process context propagation (executor -> worker and back);
@@ -15,11 +15,37 @@ up in the service, exec, kernels, and gpusim layers:
   documented <= 5% overhead budget enforced by
   ``benchmarks/bench_obs_overhead.py``.
 
+On top of them, the analysis modules turn the recorded signal into
+decisions:
+
+* :mod:`repro.obs.analyze` — span forests, deterministic critical-path
+  and waterfall attribution per wave/level, substrate comparison
+  (``repro trace-report``);
+* :mod:`repro.obs.slo` — declarative SLO specs evaluated as
+  rolling-window burn rates with typed breach/resolve alerts
+  (``repro slo``);
+* :mod:`repro.obs.ledger` — the ``repro.bench-ledger/v1`` schema over
+  the ``BENCH_*.json`` files and the regression diff behind
+  ``repro bench-diff``.
+
 See ``docs/observability.md`` for the span schema, metric naming
-conventions, and exporter formats.
+conventions, exporter formats, and the analysis/SLO layers.
 """
 
+from repro.obs.analyze import (
+    SpanNode,
+    WaveAttribution,
+    aggregate_spans,
+    analyze_waves,
+    build_forest,
+    compare_substrates,
+    critical_path,
+    level_waterfall,
+    render_trace_report,
+    wave_attribution,
+)
 from repro.obs.export import (
+    iter_jsonl,
     metrics_only,
     pair_level_spans,
     read_jsonl,
@@ -28,6 +54,16 @@ from repro.obs.export import (
     spans_only,
     trace_records,
     write_jsonl,
+)
+from repro.obs.ledger import (
+    LEDGER_SCHEMA,
+    Ledger,
+    LedgerEntry,
+    MetricPoint,
+    diff_ledgers,
+    load_ledger,
+    render_diff,
+    save_ledger,
 )
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -47,6 +83,16 @@ from repro.obs.profile import (
     enabled as profiling_enabled,
     get_config as get_profile_config,
 )
+from repro.obs.slo import (
+    SLOAlert,
+    SLOEngine,
+    SLOSpec,
+    SLOStatus,
+    default_slos,
+    load_slo_specs,
+    render_slo_report,
+    replay_trace,
+)
 from repro.obs.tracing import (
     Span,
     SpanContext,
@@ -62,29 +108,56 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "Gauge",
     "Histogram",
+    "LEDGER_SCHEMA",
+    "Ledger",
+    "LedgerEntry",
+    "MetricPoint",
     "MetricsHub",
     "OVERHEAD_BUDGET",
     "ProfileConfig",
+    "SLOAlert",
+    "SLOEngine",
+    "SLOSpec",
+    "SLOStatus",
     "Span",
     "SpanContext",
+    "SpanNode",
     "Tracer",
+    "WaveAttribution",
+    "aggregate_spans",
+    "analyze_waves",
+    "build_forest",
+    "compare_substrates",
     "configure_profiling",
     "configure_tracing",
+    "critical_path",
+    "default_slos",
+    "diff_ledgers",
     "disable_profiling",
     "get_hub",
     "get_profile_config",
     "get_tracer",
+    "iter_jsonl",
+    "level_waterfall",
+    "load_ledger",
+    "load_slo_specs",
     "metrics_only",
     "pair_level_spans",
     "percentile",
     "profiling_enabled",
     "read_jsonl",
+    "render_diff",
     "render_prometheus",
+    "render_slo_report",
+    "render_trace_report",
+    "replay_trace",
+    "save_ledger",
     "set_hub",
     "set_tracer",
     "spans_from_level_rows",
     "spans_only",
     "trace_records",
     "tracing_enabled",
+    "wave_attribution",
     "write_jsonl",
 ]

@@ -19,7 +19,17 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Tuple, Union
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+    Union,
+)
 
 from repro.errors import ObservabilityError
 from repro.obs.metrics import MetricsHub
@@ -61,21 +71,31 @@ def write_jsonl(path_or_file: Union[str, TextIO], records: Iterable[dict]) -> in
     return count
 
 
-def read_jsonl(path: str) -> List[dict]:
-    """Load a JSON-lines trace file (blank lines ignored)."""
-    records = []
+def iter_jsonl(path: str) -> Iterator[dict]:
+    """Stream a JSON-lines trace file one record at a time.
+
+    Records are parsed lazily as the consumer iterates (blank lines
+    ignored), so a long churn-loop trace never materializes as one
+    list: ``trace-report`` and ``repro slo`` fold records as they
+    arrive and hold only what they aggregate.
+    """
     with open(path) as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
-                records.append(json.loads(line))
+                yield json.loads(line)
             except json.JSONDecodeError as exc:
                 raise ObservabilityError(
                     f"{path}:{lineno}: not valid JSON: {exc}"
                 ) from exc
-    return records
+
+
+def read_jsonl(path: str) -> List[dict]:
+    """Load a whole JSON-lines trace file (see :func:`iter_jsonl` for
+    the incremental reader long traces should use)."""
+    return list(iter_jsonl(path))
 
 
 def spans_only(records: Iterable[dict]) -> List[dict]:

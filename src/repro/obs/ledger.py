@@ -1,0 +1,381 @@
+"""A schema'd perf ledger over the ``BENCH_*.json`` zoo.
+
+Eight benchmark harnesses grew eight ad-hoc result payloads: same
+spirit (named configurations, numeric measurements, a mode and a
+metric string), no shared shape, so nothing could diff one run against
+another without bespoke parsing.  This module pins one schema —
+``repro.bench-ledger/v1`` — and two operations over it:
+
+* **conversion** — :meth:`Ledger.from_legacy` lifts any of the
+  historical payloads into the schema mechanically: non-result
+  top-level fields become ledger ``meta``, each result's numeric
+  leaves (flattened by dotted path) become metric points, everything
+  else becomes entry attrs.  :func:`load_ledger` sniffs the schema
+  field, so ``repro bench-diff`` accepts old and new files alike.
+* **diffing** — :func:`diff_ledgers` matches entries by name and
+  metrics by key, classifies each delta against the metric's
+  *direction* (seconds regress upward, TEPS regress downward), and
+  flags changes beyond a tolerance — the regression gate CI runs via
+  ``repro bench-diff`` (nonzero exit on any flagged metric).
+
+Directions come from name heuristics (:func:`direction_for`) because
+the legacy payloads never recorded them; ledger-native writers may
+override per metric.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ObservabilityError
+
+LEDGER_SCHEMA = "repro.bench-ledger/v1"
+
+#: Metric directions.
+LOWER_IS_BETTER = "lower"
+HIGHER_IS_BETTER = "higher"
+
+#: Name fragments marking a metric where bigger numbers are wins.
+_HIGHER_TOKENS = (
+    "teps", "speedup", "throughput", "hit_rate", "hits", "qps",
+)
+
+
+def direction_for(metric_name: str) -> str:
+    """Heuristic direction for a metric name.
+
+    Anything smelling of rate-of-work (TEPS, speedup, throughput)
+    improves upward; everything else — seconds, overhead ratios,
+    bytes, rounds, counts — improves downward, which is the right
+    default for a benchmark ledger.
+    """
+    lowered = metric_name.lower()
+    for token in _HIGHER_TOKENS:
+        if token in lowered:
+            return HIGHER_IS_BETTER
+    return LOWER_IS_BETTER
+
+
+@dataclass(frozen=True)
+class MetricPoint:
+    """One measured value with its improvement direction."""
+
+    value: float
+    direction: str = LOWER_IS_BETTER
+    unit: str = ""
+
+    def to_dict(self) -> dict:
+        out = {"value": self.value, "direction": self.direction}
+        if self.unit:
+            out["unit"] = self.unit
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MetricPoint":
+        return cls(
+            value=float(payload["value"]),
+            direction=payload.get("direction", LOWER_IS_BETTER),
+            unit=payload.get("unit", ""),
+        )
+
+
+@dataclass
+class LedgerEntry:
+    """One named benchmark configuration's measurements."""
+
+    name: str
+    metrics: Dict[str, MetricPoint] = field(default_factory=dict)
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "metrics": {
+                k: self.metrics[k].to_dict() for k in sorted(self.metrics)
+            },
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LedgerEntry":
+        return cls(
+            name=payload["name"],
+            metrics={
+                k: MetricPoint.from_dict(v)
+                for k, v in payload.get("metrics", {}).items()
+            },
+            attrs=dict(payload.get("attrs", {})),
+        )
+
+
+@dataclass
+class Ledger:
+    """One benchmark run in the unified schema."""
+
+    benchmark: str
+    mode: str = ""
+    meta: Dict[str, object] = field(default_factory=dict)
+    entries: List[LedgerEntry] = field(default_factory=list)
+
+    def entry(self, name: str) -> Optional[LedgerEntry]:
+        for entry in self.entries:
+            if entry.name == name:
+                return entry
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": LEDGER_SCHEMA,
+            "benchmark": self.benchmark,
+            "mode": self.mode,
+            "meta": dict(self.meta),
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Ledger":
+        schema = payload.get("schema")
+        if schema != LEDGER_SCHEMA:
+            raise ObservabilityError(
+                f"not a bench ledger (schema={schema!r}); expected "
+                f"{LEDGER_SCHEMA!r}"
+            )
+        names = [e.get("name") for e in payload.get("entries", [])]
+        if len(set(names)) != len(names):
+            raise ObservabilityError("ledger entry names must be unique")
+        return cls(
+            benchmark=payload.get("benchmark", ""),
+            mode=payload.get("mode", ""),
+            meta=dict(payload.get("meta", {})),
+            entries=[
+                LedgerEntry.from_dict(e)
+                for e in payload.get("entries", [])
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    # Legacy conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_legacy(cls, payload: dict) -> "Ledger":
+        """Lift a historical ``BENCH_*.json`` payload into the schema.
+
+        Top-level fields other than ``results`` become ``meta``; each
+        result's numeric leaves (ints and floats, flattened by dotted
+        path; bools excluded) become metric points with heuristic
+        directions, the rest entry attrs.  Entries without a ``name``
+        are named from their first scalar discriminator (the stream
+        bench keys results by ``insert_fraction``) or positionally.
+        """
+        results = payload.get("results", [])
+        if not isinstance(results, list):
+            raise ObservabilityError(
+                "legacy payload has no results list to convert"
+            )
+        meta = {
+            k: v for k, v in payload.items() if k != "results"
+        }
+        entries: List[LedgerEntry] = []
+        used_names: Dict[str, int] = {}
+        for index, result in enumerate(results):
+            if not isinstance(result, dict):
+                raise ObservabilityError(
+                    f"legacy result #{index} is not an object"
+                )
+            name = result.get("name")
+            if name is None:
+                name = _synthesize_name(result, index)
+            # De-duplicate defensively; diffing matches by name.
+            bump = used_names.get(name)
+            used_names[name] = (bump or 0) + 1
+            if bump:
+                name = f"{name}#{bump + 1}"
+            metrics: Dict[str, MetricPoint] = {}
+            attrs: Dict[str, object] = {}
+            for key, value in _flatten(result):
+                if key == "name":
+                    continue
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    attrs[key] = value
+                else:
+                    metrics[key] = MetricPoint(
+                        value=float(value),
+                        direction=direction_for(key),
+                    )
+            entries.append(
+                LedgerEntry(name=str(name), metrics=metrics, attrs=attrs)
+            )
+        return cls(
+            benchmark=str(payload.get("benchmark", "unknown")),
+            mode=str(payload.get("mode", "")),
+            meta=meta,
+            entries=entries,
+        )
+
+
+def _synthesize_name(result: dict, index: int) -> str:
+    for key in ("insert_fraction", "config", "id", "label"):
+        if key in result:
+            return f"{key}={result[key]}"
+    return f"entry-{index}"
+
+
+def _flatten(payload: dict, prefix: str = "") -> List[Tuple[str, object]]:
+    out: List[Tuple[str, object]] = []
+    for key, value in payload.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.extend(_flatten(value, prefix=f"{path}."))
+        elif isinstance(value, list):
+            # Lists are opaque attrs; per-element metrics would explode
+            # the namespace without being diffable run to run.
+            out.append((path, value))
+        else:
+            out.append((path, value))
+    return out
+
+
+def load_ledger(path: str) -> Ledger:
+    """Read a ledger file, converting legacy payloads transparently."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict):
+        raise ObservabilityError(f"{path!r} is not a benchmark payload")
+    if payload.get("schema") == LEDGER_SCHEMA:
+        return Ledger.from_dict(payload)
+    return Ledger.from_legacy(payload)
+
+
+def save_ledger(ledger: Ledger, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(ledger.to_dict(), fh, indent=2)
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Diffing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric compared across two ledgers."""
+
+    entry: str
+    metric: str
+    direction: str
+    old: float
+    new: float
+    #: Signed fractional change, positive = metric went up.
+    change: float
+    #: True when the change moves in the bad direction past tolerance.
+    regressed: bool
+    #: True when the change moves in the good direction past tolerance.
+    improved: bool
+
+
+@dataclass
+class LedgerDiff:
+    """Full comparison of two ledgers."""
+
+    deltas: List[MetricDelta]
+    #: Entry names present in only one side.
+    only_old: List[str]
+    only_new: List[str]
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def improvements(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.improved]
+
+
+def diff_ledgers(
+    old: Ledger, new: Ledger, tolerance: float = 0.05
+) -> LedgerDiff:
+    """Compare matching entry/metric pairs; flag moves past tolerance.
+
+    ``tolerance`` is a fractional band: a lower-is-better metric
+    regresses when ``new > old * (1 + tolerance)`` and improves when
+    ``new < old * (1 - tolerance)`` (mirrored for higher-is-better).
+    A metric at old value 0 regresses on any bad-direction move
+    beyond ``tolerance`` in absolute terms.
+    """
+    if tolerance < 0:
+        raise ObservabilityError("tolerance must be non-negative")
+    deltas: List[MetricDelta] = []
+    old_names = [e.name for e in old.entries]
+    new_names = [e.name for e in new.entries]
+    for entry in old.entries:
+        counterpart = new.entry(entry.name)
+        if counterpart is None:
+            continue
+        for metric_name in sorted(entry.metrics):
+            before = entry.metrics[metric_name]
+            after = counterpart.metrics.get(metric_name)
+            if after is None:
+                continue
+            direction = before.direction or direction_for(metric_name)
+            change = (
+                (after.value - before.value) / abs(before.value)
+                if before.value != 0
+                else after.value - before.value
+            )
+            if direction == HIGHER_IS_BETTER:
+                regressed = change < -tolerance
+                improved = change > tolerance
+            else:
+                regressed = change > tolerance
+                improved = change < -tolerance
+            deltas.append(
+                MetricDelta(
+                    entry=entry.name,
+                    metric=metric_name,
+                    direction=direction,
+                    old=before.value,
+                    new=after.value,
+                    change=change,
+                    regressed=regressed,
+                    improved=improved,
+                )
+            )
+    return LedgerDiff(
+        deltas=deltas,
+        only_old=[n for n in old_names if n not in new_names],
+        only_new=[n for n in new_names if n not in old_names],
+    )
+
+
+def render_diff(
+    diff: LedgerDiff, old_label: str = "old", new_label: str = "new"
+) -> str:
+    """Deterministic text for ``repro bench-diff``."""
+    lines = [f"bench diff: {old_label} -> {new_label}"]
+    lines.append(
+        f"  {len(diff.deltas)} metrics compared, "
+        f"{len(diff.regressions)} regressed, "
+        f"{len(diff.improvements)} improved"
+    )
+    for name in diff.only_old:
+        lines.append(f"  entry only in {old_label}: {name}")
+    for name in diff.only_new:
+        lines.append(f"  entry only in {new_label}: {name}")
+    flagged = [d for d in diff.deltas if d.regressed or d.improved]
+    if flagged:
+        lines.append("")
+        lines.append(
+            f"  {'entry':<28}{'metric':<28}{'old':>12}{'new':>12}"
+            f"{'change':>9}  flag"
+        )
+        for delta in flagged:
+            flag = "REGRESSED" if delta.regressed else "improved"
+            lines.append(
+                f"  {delta.entry:<28}{delta.metric:<28}"
+                f"{delta.old:>12.6g}{delta.new:>12.6g}"
+                f"{delta.change:>+8.1%}  {flag}"
+            )
+    return "\n".join(lines) + "\n"

@@ -33,12 +33,18 @@ from typing import Callable, List, Optional, Sequence, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.exec.executor import GroupExecutor
+    from repro.obs.slo import SLOEngine
 
 import numpy as np
 
 from repro.errors import QueueFullError, ReproError, ServiceError
 from repro.graph.csr import CSRGraph
 from repro.obs import tracing as obs_tracing
+from repro.obs.slo import (
+    SIGNAL_ERROR_RATE,
+    SIGNAL_QUEUE_DEPTH,
+    SIGNAL_WAVE_LATENCY,
+)
 from repro.gpusim.device import Device
 from repro.plan.policy import DirectionPolicy, Policy
 from repro.core.engine import IBFS, IBFSConfig
@@ -169,6 +175,7 @@ class BFSServer:
         fault_injector: Optional[Callable[[Sequence[int]], None]] = None,
         executor: Optional["GroupExecutor"] = None,
         planner: Optional[Policy] = None,
+        slo: Optional["SLOEngine"] = None,
     ) -> None:
         self.graph = graph
         self.serving = serving or ServingConfig()
@@ -228,6 +235,13 @@ class BFSServer:
         self.cache = ResultCache(self.serving.cache_capacity)
         self.plan_cache = PlanCache(self.serving.plan_cache_capacity)
         self.metrics = MetricsRegistry()
+        #: Optional :class:`~repro.obs.slo.SLOEngine`: when given, the
+        #: server feeds it wave latency, per-response error, and queue
+        #: depth samples on the simulated clock and evaluates specs
+        #: after each sample — alerts land on the engine (and its hub)
+        #: and in :meth:`metrics_snapshot`.  ``None`` keeps the serving
+        #: hot path free of SLO work.
+        self.slo = slo
         #: Test/chaos hook: called with the batch sources before each
         #: kernel; raising a ReproError fails the batch.
         self.fault_injector = fault_injector
@@ -295,6 +309,7 @@ class BFSServer:
         self._validate(request)
         self.advance_to(now)
         self.metrics.record_submit(queue_depth=len(self.batcher))
+        self._observe_slo(SIGNAL_QUEUE_DEPTH, float(len(self.batcher)))
 
         request_id = self._next_id
         self._next_id += 1
@@ -420,6 +435,7 @@ class BFSServer:
         bit-identical to the inline path."""
         self._expire(now)
         while True:
+            queue_depth = len(self.batcher)
             wave = []
             progressed = False
             while len(self.batcher) > 0:
@@ -473,8 +489,17 @@ class BFSServer:
                 batches=len(wave),
                 sources=sum(len(entry[2]) for entry in wave),
                 plans_cached=sum(1 for s in specs if s[2] is not None),
-            ):
+                queue_depth=queue_depth,
+            ) as wave_span:
                 results = self.executor.map_groups(specs, return_errors=True)
+                sims = [
+                    r.seconds for r in results
+                    if not isinstance(r, ReproError)
+                ]
+                if wave_span is not None and sims:
+                    # The wave's simulated makespan (devices run the
+                    # batches concurrently); see the inline-path note.
+                    wave_span.annotate(sim_seconds=max(sims))
             for entry, result in zip(wave, results):
                 device, prior_free, sources, batch, trigger, max_depth = entry
                 if isinstance(result, ReproError):
@@ -509,6 +534,7 @@ class BFSServer:
     # Batch execution
     # ------------------------------------------------------------------
     def _launch(self, device: int, now: float, trigger: str) -> None:
+        queue_depth = len(self.batcher)
         sources, batch = self.batcher.take_batch()
         for item in batch:
             item.attempts += 1
@@ -521,6 +547,7 @@ class BFSServer:
                 trigger=trigger,
                 num_sources=len(sources),
                 num_requests=len(batch),
+                queue_depth=queue_depth,
             ) as span:
                 if self.fault_injector is not None:
                     self.fault_injector(sources)
@@ -532,6 +559,11 @@ class BFSServer:
                 result = (self.partitioned or self.engine).run_group(
                     sources, max_depth=max_depth, plan=plan
                 )
+                if span is not None:
+                    # Simulated wave cost, so SLO replay from the trace
+                    # sees the same latency signal the live engine did
+                    # (span start/end are wall clock, not simulated).
+                    span.annotate(sim_seconds=result.seconds)
         except ReproError as exc:
             self._handle_failure(batch, exc)
             return
@@ -566,6 +598,7 @@ class BFSServer:
                 trigger=trigger,
             )
         )
+        self._observe_slo(SIGNAL_WAVE_LATENCY, result.seconds)
 
         if stats.plan is not None:
             self.plan_cache.put(
@@ -678,7 +711,22 @@ class BFSServer:
     def _finish(self, response: Response, successful: bool = True) -> None:
         if successful:
             self.metrics.record_completion(response.latency, response.cached)
+        self._observe_slo(
+            SIGNAL_ERROR_RATE, 0.0 if successful else 1.0
+        )
         self._completed.append(response)
+
+    def _observe_slo(self, signal: str, value: float) -> None:
+        """Feed one SLO sample at the server clock and re-evaluate.
+
+        Samples ride the simulated clock (arrival/launch instants are
+        non-decreasing even when completions land in the future), so
+        burn rates and alert times are bit-reproducible per run.
+        """
+        if self.slo is None:
+            return
+        self.slo.observe(signal, value, self.clock)
+        self.slo.evaluate(self.clock)
 
     def metrics_snapshot(self, elapsed: Optional[float] = None) -> dict:
         """Metrics JSON payload including cache statistics."""
@@ -688,6 +736,9 @@ class BFSServer:
             elapsed=elapsed, cache_stats=self.cache.stats()
         )
         payload["plan_cache"] = self.plan_cache.stats()
+        if self.slo is not None:
+            self.slo.evaluate(self.clock)
+            payload["slo"] = self.slo.snapshot()
         return payload
 
 

@@ -28,6 +28,8 @@ from typing import Dict, List, Optional
 
 from repro.errors import StreamError
 from repro.graph.csr import CSRGraph
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
 from repro.service.cache import graph_cache_id
 from repro.stream.overlay import GraphOverlay, MutationBatch
 
@@ -204,18 +206,33 @@ class EpochStore:
         superseded epoch's shm segments mapped, so holding its pin
         forever would only leak them.  Returns the number of epochs
         reclaimed by this call.  The current epoch is never touched.
+
+        Each call emits a ``stream.gc`` span (candidates scanned,
+        epochs reclaimed) and bumps ``stream_epochs_reclaimed_total``
+        on the hub, so epoch reclamation shows up in trace reports
+        next to the publishes that triggered it.
         """
         reclaimed = 0
-        for epoch, snap in list(self._snapshots.items()):
-            if snap.reclaimed or epoch == self._current_epoch:
-                continue
-            for token_id, token in list(snap.pins.items()):
-                if token.pid is not None and not _pid_alive(token.pid):
-                    del snap.pins[token_id]
-            if snap.pins:
-                continue
-            self._reclaim(snap)
-            reclaimed += 1
+        scanned = 0
+        with obs_tracing.get_tracer().span("stream.gc") as span:
+            for epoch, snap in list(self._snapshots.items()):
+                if snap.reclaimed or epoch == self._current_epoch:
+                    continue
+                scanned += 1
+                for token_id, token in list(snap.pins.items()):
+                    if token.pid is not None and not _pid_alive(token.pid):
+                        del snap.pins[token_id]
+                if snap.pins:
+                    continue
+                self._reclaim(snap)
+                reclaimed += 1
+            if span is not None:
+                span.annotate(scanned=scanned, reclaimed=reclaimed)
+        if reclaimed:
+            obs_metrics.get_hub().counter(
+                "stream_epochs_reclaimed_total",
+                help="superseded epoch snapshots reclaimed by gc",
+            ).inc(reclaimed)
         return reclaimed
 
     def _reclaim(self, snap: Snapshot) -> None:

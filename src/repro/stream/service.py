@@ -36,7 +36,9 @@ import numpy as np
 
 from repro.errors import ServiceError
 from repro.graph.csr import CSRGraph
+from repro.obs import metrics as obs_metrics
 from repro.obs import tracing as obs_tracing
+from repro.obs.slo import SIGNAL_CACHE_STALENESS
 from repro.service.cache import ResultCache
 from repro.service.server import BFSServer, ServingConfig
 from repro.stream.epoch import EpochStore, Snapshot
@@ -141,6 +143,18 @@ class DynamicBFSServer(BFSServer):
                 f"mutation arrival {now} is before the server clock "
                 f"{self.clock}"
             )
+        with obs_tracing.get_tracer().span("stream.mutate") as mspan:
+            record = self._mutate_inner(inserts, deletes, now, mspan)
+        self._record_mutation(record, mspan)
+        return record
+
+    def _mutate_inner(
+        self,
+        inserts: Optional[Tuple],
+        deletes: Optional[Tuple],
+        now: float,
+        mspan,
+    ) -> EpochRecord:
         self.advance_to(now)
         # Barrier: flush in-flight batches on the old epoch.  Completed
         # responses stay queued for take_completed() as usual.
@@ -155,7 +169,7 @@ class DynamicBFSServer(BFSServer):
             self.epochs.overlay.delete_edges(*deletes)
         batch = self.epochs.overlay.pending_batch()
         if batch.empty:
-            record = EpochRecord(
+            return EpochRecord(
                 epoch=self.epochs.current_epoch,
                 time=self.clock,
                 inserts=0,
@@ -163,8 +177,6 @@ class DynamicBFSServer(BFSServer):
                 decision=NOOP,
                 reason="empty batch",
             )
-            self.epoch_records.append(record)
-            return record
 
         old_graph_id = self._graph_id
         with obs_tracing.get_tracer().span(
@@ -177,9 +189,17 @@ class DynamicBFSServer(BFSServer):
             self._swap_substrate(snap)
             repaired, rounds = 0, 0
             if plan.decision == REPAIR:
-                repaired, rounds = self._repair_result_cache(
-                    old_graph_id, snap, batch
-                )
+                with obs_tracing.get_tracer().span(
+                    "stream.repair",
+                    inserts=batch.num_inserts,
+                ) as rspan:
+                    repaired, rounds = self._repair_result_cache(
+                        old_graph_id, snap, batch
+                    )
+                    if rspan is not None:
+                        rspan.annotate(
+                            rows_repaired=repaired, repair_rounds=rounds
+                        )
                 dropped = 0
             else:
                 dropped = self.cache.purge(
@@ -197,7 +217,7 @@ class DynamicBFSServer(BFSServer):
                     plans_purged=plans_purged,
                 )
 
-        record = EpochRecord(
+        return EpochRecord(
             epoch=snap.epoch,
             time=self.clock,
             inserts=batch.num_inserts,
@@ -209,8 +229,45 @@ class DynamicBFSServer(BFSServer):
             plans_purged=plans_purged,
             repair_rounds=rounds,
         )
+
+    def _record_mutation(self, record: EpochRecord, mspan) -> None:
+        """One swap's bookkeeping fan-out: epoch history, hub counters,
+        span attrs, and the cache-staleness SLO signal."""
         self.epoch_records.append(record)
-        return record
+        touched = record.rows_repaired + record.rows_dropped
+        staleness = (
+            record.rows_dropped / touched if touched > 0 else 0.0
+        )
+        if mspan is not None:
+            mspan.annotate(
+                epoch=record.epoch,
+                decision=record.decision,
+                inserts=record.inserts,
+                deletes=record.deletes,
+                rows_repaired=record.rows_repaired,
+                rows_dropped=record.rows_dropped,
+                cache_staleness=staleness,
+            )
+        hub = obs_metrics.get_hub()
+        hub.counter(
+            "stream_mutations_total",
+            help="mutation batches applied, by repair decision",
+            labels={"decision": record.decision},
+        ).inc()
+        if record.decision != NOOP:
+            hub.counter(
+                "stream_rows_repaired_total",
+                help="cached depth rows patched across epoch swaps",
+            ).inc(record.rows_repaired)
+            hub.counter(
+                "stream_rows_dropped_total",
+                help="cached depth rows invalidated by epoch swaps",
+            ).inc(record.rows_dropped)
+            hub.counter(
+                "stream_plans_purged_total",
+                help="plan-cache entries purged by epoch swaps",
+            ).inc(record.plans_purged)
+            self._observe_slo(SIGNAL_CACHE_STALENESS, staleness)
 
     # ------------------------------------------------------------------
     # Epoch swap internals

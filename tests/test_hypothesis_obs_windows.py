@@ -1,0 +1,215 @@
+"""Property tests pinning the SLO window math and critical-path
+determinism against brute-force oracles.
+
+The oracle recomputes everything from scratch on every evaluation —
+keep *all* samples, filter by ``timestamp > now - window``, reduce
+with an independent implementation — so the engine's incremental
+eviction and shared-window re-filtering can't drift from the spec.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.analyze import build_forest, critical_path
+from repro.obs.slo import (
+    SLOEngine,
+    SLOSpec,
+    RollingWindow,
+    reduce_samples,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+#: Monotone sample streams: positive time gaps, bounded finite values.
+SAMPLE_STREAMS = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=10.0,
+                  allow_nan=False, allow_infinity=False),
+        st.floats(min_value=0.0, max_value=100.0,
+                  allow_nan=False, allow_infinity=False),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+WINDOWS = st.floats(min_value=0.5, max_value=20.0,
+                    allow_nan=False, allow_infinity=False)
+
+REDUCERS = st.sampled_from(["p50", "p90", "p95", "p99", "mean", "max"])
+
+
+def _timestamps(stream):
+    """Cumulative (timestamp, value) pairs from (gap, value) pairs."""
+    now = 0.0
+    out = []
+    for gap, value in stream:
+        now += gap
+        out.append((now, value))
+    return out
+
+
+def _oracle_reduce(values, reduce):
+    if not values:
+        return 0.0
+    if reduce in ("mean", "rate"):
+        return sum(values) / len(values)
+    if reduce == "max":
+        return max(values)
+    q = float(reduce[1:])
+    return float(np.percentile(values, q, method="linear"))
+
+
+def _oracle_window(samples, now, window):
+    return [v for ts, v in samples if ts > now - window]
+
+
+# ----------------------------------------------------------------------
+# Rolling windows
+# ----------------------------------------------------------------------
+@given(stream=SAMPLE_STREAMS, window=WINDOWS)
+@settings(max_examples=100, deadline=None)
+def test_window_matches_bruteforce_at_every_instant(stream, window):
+    samples = _timestamps(stream)
+    rolling = RollingWindow(window)
+    for index, (ts, value) in enumerate(samples):
+        rolling.observe(ts, value)
+        assert rolling.values(ts) == _oracle_window(
+            samples[: index + 1], ts, window
+        )
+    # And after the stream went quiet.
+    last = samples[-1][0]
+    for extra in (0.1, window / 2, window, 2 * window):
+        probe = RollingWindow(window)
+        for ts, value in samples:
+            probe.observe(ts, value)
+        assert probe.values(last + extra) == _oracle_window(
+            samples, last + extra, window
+        )
+
+
+@given(stream=SAMPLE_STREAMS, reduce=REDUCERS)
+@settings(max_examples=100, deadline=None)
+def test_reduce_matches_numpy_oracle(stream, reduce):
+    values = [v for _, v in stream]
+    got = reduce_samples(values, reduce)
+    want = _oracle_reduce(values, reduce)
+    assert got == pytest.approx(want, rel=1e-9, abs=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Burn rates and alert edges
+# ----------------------------------------------------------------------
+@given(
+    stream=SAMPLE_STREAMS,
+    window=WINDOWS,
+    reduce=REDUCERS,
+    objective=st.floats(min_value=0.1, max_value=50.0,
+                        allow_nan=False, allow_infinity=False),
+    min_samples=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=100, deadline=None)
+def test_engine_burn_and_alerts_match_oracle(
+    stream, window, reduce, objective, min_samples
+):
+    spec = SLOSpec(
+        name="prop", signal="sig", objective=objective, reduce=reduce,
+        window_seconds=window, min_samples=min_samples,
+    )
+    engine = SLOEngine(specs=[spec])
+    samples = _timestamps(stream)
+
+    oracle_breached = False
+    oracle_alerts = []
+    for index, (ts, value) in enumerate(samples):
+        engine.observe("sig", value, ts)
+        (status,) = engine.evaluate(ts)
+
+        live = _oracle_window(samples[: index + 1], ts, window)
+        want_value = _oracle_reduce(live, reduce)
+        want_burn = want_value / objective
+        assert status.value == pytest.approx(want_value, rel=1e-9,
+                                             abs=1e-12)
+        assert status.burn == pytest.approx(want_burn, rel=1e-9,
+                                            abs=1e-12)
+        assert status.samples == len(live)
+
+        want_breached = (
+            len(live) >= min_samples and want_burn >= 1.0
+        )
+        # Floating division can land exactly on the threshold; compare
+        # state only when the oracle is decisively on one side.
+        if not math.isclose(want_burn, 1.0, rel_tol=1e-9):
+            assert status.breached == want_breached
+        if status.breached != oracle_breached:
+            oracle_breached = status.breached
+            oracle_alerts.append(
+                "breach" if status.breached else "resolve"
+            )
+    assert [a.kind for a in engine.alerts] == oracle_alerts
+    # Alerts strictly alternate, starting with a breach.
+    for i, alert in enumerate(engine.alerts):
+        assert alert.kind == ("breach" if i % 2 == 0 else "resolve")
+
+
+# ----------------------------------------------------------------------
+# Critical-path determinism on random span trees
+# ----------------------------------------------------------------------
+@st.composite
+def span_trees(draw):
+    """A random span forest as records: each span picks a parent among
+    earlier spans (or roots), with a start inside the parent and a
+    duration fitting within it — a well-nested single-process trace."""
+    count = draw(st.integers(min_value=1, max_value=25))
+    records = []
+    spans = []  # (span_id, start, end)
+    for i in range(count):
+        sid = f"s{i}"
+        if spans and draw(st.booleans()):
+            parent_id, p_start, p_end = spans[draw(
+                st.integers(min_value=0, max_value=len(spans) - 1)
+            )]
+            start = draw(st.floats(min_value=p_start, max_value=p_end,
+                                   allow_nan=False))
+            end = draw(st.floats(min_value=start, max_value=p_end,
+                                 allow_nan=False))
+        else:
+            parent_id = None
+            start = draw(st.floats(min_value=0.0, max_value=100.0,
+                                   allow_nan=False))
+            end = start + draw(st.floats(min_value=0.0, max_value=50.0,
+                                         allow_nan=False))
+        spans.append((sid, start, end))
+        records.append({
+            "kind": "span", "name": f"n{i % 5}", "span_id": sid,
+            "parent_id": parent_id, "start": start, "end": end,
+            "process": "main", "attrs": {}, "status": "ok",
+        })
+    return records
+
+
+@given(records=span_trees())
+@settings(max_examples=100, deadline=None)
+def test_critical_path_telescopes_and_is_deterministic(records):
+    roots = build_forest(records)
+    for root in roots:
+        first = critical_path(root)
+        # Telescoping: step charges sum to the root duration (children
+        # are nested within parents by construction, so no clamping).
+        assert sum(s.step_seconds for s in first) == pytest.approx(
+            root.duration, abs=1e-9
+        )
+        # Path is strictly descending through the tree.
+        assert [s.depth for s in first] == list(range(len(first)))
+        # Determinism: rebuilding the forest from scratch yields the
+        # identical path (same span ids, same charges).
+        rebuilt = critical_path(build_forest(records)[
+            [r.span_id for r in build_forest(records)].index(root.span_id)
+        ])
+        assert [(s.span_id, s.step_seconds) for s in rebuilt] == [
+            (s.span_id, s.step_seconds) for s in first
+        ]

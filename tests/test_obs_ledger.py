@@ -1,0 +1,227 @@
+"""The unified bench ledger: schema, legacy conversion, diffing."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.ledger import (
+    HIGHER_IS_BETTER,
+    LEDGER_SCHEMA,
+    LOWER_IS_BETTER,
+    Ledger,
+    LedgerEntry,
+    MetricPoint,
+    diff_ledgers,
+    direction_for,
+    load_ledger,
+    render_diff,
+    save_ledger,
+)
+
+FIXTURES = str(Path(__file__).parent / "data")
+REPO_ROOT = str(Path(__file__).parent.parent)
+
+
+def make_ledger(**metrics):
+    return Ledger(
+        benchmark="t",
+        mode="quick",
+        entries=[LedgerEntry(
+            name="e",
+            metrics={k: MetricPoint(value=v, direction=direction_for(k))
+                     for k, v in metrics.items()},
+        )],
+    )
+
+
+class TestDirections:
+    @pytest.mark.parametrize("name", [
+        "throughput_teps", "speedup", "cache_hit_rate", "hits", "qps",
+    ])
+    def test_higher_is_better(self, name):
+        assert direction_for(name) == HIGHER_IS_BETTER
+
+    @pytest.mark.parametrize("name", [
+        "run_seconds", "overhead", "nbytes", "rounds", "latency_p99",
+    ])
+    def test_lower_is_better(self, name):
+        assert direction_for(name) == LOWER_IS_BETTER
+
+
+class TestSchema:
+    def test_round_trip(self, tmp_path):
+        ledger = Ledger(
+            benchmark="serve",
+            mode="full",
+            meta={"repeats": 3},
+            entries=[LedgerEntry(
+                name="a",
+                metrics={"run_seconds": MetricPoint(0.5, unit="s")},
+                attrs={"batch_size": 32},
+            )],
+        )
+        path = tmp_path / "ledger.json"
+        save_ledger(ledger, str(path))
+        loaded = load_ledger(str(path))
+        assert loaded.to_dict() == ledger.to_dict()
+        assert loaded.entry("a").metrics["run_seconds"].unit == "s"
+        assert loaded.entry("missing") is None
+
+    def test_from_dict_rejects_wrong_schema(self):
+        with pytest.raises(ObservabilityError, match="not a bench ledger"):
+            Ledger.from_dict({"schema": "v0", "entries": []})
+
+    def test_from_dict_rejects_duplicate_names(self):
+        payload = {
+            "schema": LEDGER_SCHEMA,
+            "entries": [{"name": "a"}, {"name": "a"}],
+        }
+        with pytest.raises(ObservabilityError, match="unique"):
+            Ledger.from_dict(payload)
+
+
+class TestLegacyConversion:
+    def test_numeric_leaves_become_metrics(self):
+        payload = {
+            "benchmark": "serve",
+            "mode": "quick",
+            "repeats": 3,
+            "results": [{
+                "name": "batch32",
+                "run_seconds": 0.5,
+                "throughput_teps": 1e6,
+                "engine": "bitwise",
+                "cache": {"hits": 10, "misses": 2},
+                "depths": [1, 2, 3],
+                "converged": True,
+            }],
+        }
+        ledger = Ledger.from_legacy(payload)
+        assert ledger.benchmark == "serve"
+        assert ledger.meta == {
+            "benchmark": "serve", "mode": "quick", "repeats": 3,
+        }
+        (entry,) = ledger.entries
+        assert entry.name == "batch32"
+        assert entry.metrics["run_seconds"].value == 0.5
+        assert entry.metrics["run_seconds"].direction == LOWER_IS_BETTER
+        assert entry.metrics["throughput_teps"].direction == HIGHER_IS_BETTER
+        # Nested dicts flatten by dotted path.
+        assert entry.metrics["cache.hits"].value == 10.0
+        # Non-numerics (and bools, and lists) land in attrs.
+        assert entry.attrs["engine"] == "bitwise"
+        assert entry.attrs["converged"] is True
+        assert entry.attrs["depths"] == [1, 2, 3]
+
+    def test_nameless_entries_use_discriminator_then_position(self):
+        payload = {"results": [
+            {"insert_fraction": 0.5, "seconds": 1.0},
+            {"seconds": 2.0},
+        ]}
+        ledger = Ledger.from_legacy(payload)
+        assert [e.name for e in ledger.entries] == [
+            "insert_fraction=0.5", "entry-1",
+        ]
+
+    def test_duplicate_names_deduped(self):
+        payload = {"results": [
+            {"name": "a", "seconds": 1.0},
+            {"name": "a", "seconds": 2.0},
+        ]}
+        ledger = Ledger.from_legacy(payload)
+        assert [e.name for e in ledger.entries] == ["a", "a#2"]
+
+    def test_missing_results_rejected(self):
+        with pytest.raises(ObservabilityError, match="results"):
+            Ledger.from_legacy({"results": "nope"})
+
+    def test_load_ledger_sniffs_legacy(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps({
+            "benchmark": "old", "results": [{"name": "x", "seconds": 1.0}],
+        }))
+        ledger = load_ledger(str(path))
+        assert ledger.benchmark == "old"
+        assert ledger.entry("x").metrics["seconds"].value == 1.0
+
+    def test_repo_bench_obs_loads_as_ledger(self):
+        ledger = load_ledger(f"{REPO_ROOT}/BENCH_obs.json")
+        assert ledger.benchmark == "obs_overhead"
+        names = [e.name for e in ledger.entries]
+        assert len(names) == len(set(names)) and names
+        for entry in ledger.entries:
+            assert "overhead" in entry.metrics
+
+
+class TestDiff:
+    def test_regression_flags_by_direction(self):
+        old = make_ledger(run_seconds=1.0, throughput_teps=100.0)
+        new = make_ledger(run_seconds=1.5, throughput_teps=50.0)
+        diff = diff_ledgers(old, new, tolerance=0.05)
+        flagged = {(d.metric, d.regressed) for d in diff.deltas}
+        assert ("run_seconds", True) in flagged
+        assert ("throughput_teps", True) in flagged
+
+    def test_improvement_flags_by_direction(self):
+        old = make_ledger(run_seconds=1.0, throughput_teps=100.0)
+        new = make_ledger(run_seconds=0.5, throughput_teps=200.0)
+        diff = diff_ledgers(old, new, tolerance=0.05)
+        assert not diff.regressions
+        assert {d.metric for d in diff.improvements} == {
+            "run_seconds", "throughput_teps",
+        }
+
+    def test_within_tolerance_is_quiet(self):
+        old = make_ledger(run_seconds=1.0)
+        new = make_ledger(run_seconds=1.04)
+        diff = diff_ledgers(old, new, tolerance=0.05)
+        assert not diff.regressions and not diff.improvements
+
+    def test_zero_old_uses_absolute_change(self):
+        old = make_ledger(run_seconds=0.0)
+        new = make_ledger(run_seconds=0.04)
+        assert not diff_ledgers(old, new, tolerance=0.05).regressions
+        worse = make_ledger(run_seconds=0.2)
+        assert diff_ledgers(old, worse, tolerance=0.05).regressions
+
+    def test_unmatched_entries_reported_not_diffed(self):
+        old = Ledger(benchmark="t", entries=[LedgerEntry(name="gone")])
+        new = Ledger(benchmark="t", entries=[LedgerEntry(name="added")])
+        diff = diff_ledgers(old, new)
+        assert diff.deltas == []
+        assert diff.only_old == ["gone"]
+        assert diff.only_new == ["added"]
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ObservabilityError, match="tolerance"):
+            diff_ledgers(make_ledger(), make_ledger(), tolerance=-0.1)
+
+    def test_self_diff_is_clean(self):
+        ledger = load_ledger(f"{REPO_ROOT}/BENCH_obs.json")
+        diff = diff_ledgers(ledger, ledger)
+        assert diff.deltas and not diff.regressions
+        assert not diff.improvements
+
+    def test_seeded_regression_fixtures_flag(self):
+        """The committed fixture pair CI gates on: the regressed side
+        must flag run_seconds and teps on the batched entry only."""
+        old = load_ledger(f"{FIXTURES}/ledger_base.json")
+        new = load_ledger(f"{FIXTURES}/ledger_regressed.json")
+        diff = diff_ledgers(old, new, tolerance=0.05)
+        regressed = {(d.entry, d.metric) for d in diff.regressions}
+        assert regressed == {
+            ("serve-kron7-batch32", "run_seconds"),
+            ("serve-kron7-batch32", "throughput_teps"),
+        }
+
+    def test_render_diff_deterministic_and_flagging(self):
+        old = load_ledger(f"{FIXTURES}/ledger_base.json")
+        new = load_ledger(f"{FIXTURES}/ledger_regressed.json")
+        diff = diff_ledgers(old, new)
+        text = render_diff(diff, old_label="base", new_label="candidate")
+        assert text == render_diff(diff, "base", "candidate")
+        assert "base -> candidate" in text
+        assert "REGRESSED" in text
+        assert "2 regressed" in text
