@@ -60,6 +60,28 @@ from repro.graph.properties import degree_stats, gini_coefficient
 from repro.core.groupby import GroupByConfig, group_sources
 from repro.plan import POLICY_NAMES, make_policy
 from repro.plan.types import KERNEL_VARIANTS
+from repro.runtime import SUBSTRATE_NAMES, SubstrateSpec, make_substrate
+
+
+def _substrate_spec(args: argparse.Namespace) -> Optional[SubstrateSpec]:
+    """One placement spec from the legacy flags (``--workers`` /
+    ``--partitions`` / ``--churn`` stay aliases) plus ``--substrate``.
+    Prints the capability error and returns None when the combination
+    is invalid (callers exit 2)."""
+    from repro.errors import SubstrateError
+
+    try:
+        return SubstrateSpec.from_flags(
+            kind=getattr(args, "substrate", None),
+            workers=getattr(args, "workers", 0),
+            partitions=getattr(args, "partitions", 0),
+            layout=getattr(args, "layout", "1d"),
+            scheduler=getattr(args, "scheduler", "steal"),
+            churn=getattr(args, "churn", 0) > 0,
+        )
+    except SubstrateError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
 
 
 def _load_graph(spec: str) -> CSRGraph:
@@ -128,46 +150,37 @@ def cmd_run(args: argparse.Namespace) -> int:
 
         tracer = obs.configure_tracing(process="cli")
         obs.configure_profiling(enabled=True)
-    if args.partitions > 0 and args.workers > 0:
-        print("error: --partitions and --workers are mutually exclusive "
-              "(partitioned traversal has its own process backend)",
-              file=sys.stderr)
+    spec = _substrate_spec(args)
+    if spec is None:
         return 2
+    exec_config = None
+    if spec.kind == "executor" or (
+        spec.kind == "stream" and spec.inner_kind == "executor"
+    ):
+        from repro.exec import ExecConfig, FaultPolicy
+
+        exec_config = ExecConfig(
+            num_workers=spec.workers,
+            scheduler=spec.scheduler,
+            faults=FaultPolicy(fail_fast=args.fail_fast),
+        )
     exec_stats = None
     dist_stats = None
     root = tracer.start_span("run", graph=args.graph,
                              sources=len(sources)) if tracer else None
     try:
-        if args.partitions > 0:
-            from repro.dist import DistConfig, PartitionedEngine
-
-            dist_config = DistConfig(
-                num_partitions=args.partitions,
-                layout=args.layout,
-                group_size=args.group_size,
-                groupby=not args.no_groupby,
-                seed=config.seed,
-            )
-            with PartitionedEngine(graph, dist_config) as engine:
-                result = engine.run(sources, store_depths=False)
-                dist_stats = engine.last_stats
-        elif args.workers > 0:
-            from repro.exec import ExecConfig, FaultPolicy, GroupExecutor
-
-            exec_config = ExecConfig(
-                num_workers=args.workers,
-                scheduler=args.scheduler,
-                faults=FaultPolicy(fail_fast=args.fail_fast),
-            )
-            with GroupExecutor(
-                graph, config, exec_config=exec_config, planner=planner
-            ) as executor:
-                result = executor.run(sources, store_depths=False)
-                exec_stats = executor.last_stats
-        else:
-            result = IBFS(graph, config, planner=planner).run(
-                sources, store_depths=False
-            )
+        with make_substrate(
+            spec,
+            graph,
+            engine_config=config,
+            planner=planner,
+            exec_config=exec_config,
+        ) as substrate:
+            result = substrate.run(sources, store_depths=False)
+            if substrate.supports_partitions:
+                dist_stats = substrate.last_stats
+            elif substrate.supports_executor:
+                exec_stats = substrate.last_stats
     finally:
         if tracer is not None:
             if root is not None:
@@ -450,27 +463,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
         tracer = obs.configure_tracing(process="serve")
         obs.configure_profiling(enabled=True)
-    if serving.partitions > 0 and getattr(args, "workers", 0) > 0:
-        print("error: --partitions and --workers are mutually exclusive "
-              "(partitioned batches do not run on the replica pool)",
-              file=sys.stderr)
-        return 2
-    if args.churn > 0 and getattr(args, "workers", 0) > 0:
-        print("error: --churn and --workers are mutually exclusive "
-              "(worker processes map one immutable graph for their "
-              "lifetime; epoch swaps mutate it)", file=sys.stderr)
+    spec = _substrate_spec(args)
+    if spec is None:
         return 2
     slo_engine = _make_slo_engine(args)
-    if args.churn > 0:
+    planner = make_policy(args.policy) if args.policy else None
+    if args.churn > 0 or spec.kind == "stream":
         from repro.stream import DynamicBFSServer, run_churn_loop
 
-        planner = make_policy(args.policy) if args.policy else None
         server = DynamicBFSServer(
-            graph, serving, planner=planner, slo=slo_engine
+            graph, serving, planner=planner, slo=slo_engine,
+            substrate=spec,
         )
         try:
             result, _ = run_churn_loop(
                 server, _workload_config(args), _churn_config(args)
+            )
+            exec_stats = (
+                server.executor.last_stats
+                if server.executor is not None else None
             )
         finally:
             server.close()
@@ -481,6 +492,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
             result,
         )
         _print_epoch_summary(result.metrics)
+        if exec_stats is not None:
+            print(f"  exec backend      : {exec_stats.backend} "
+                  f"({exec_stats.num_workers} workers, "
+                  f"{exec_stats.scheduler})")
         _print_slo_summary(slo_engine)
         if args.metrics_json:
             import json
@@ -490,40 +505,29 @@ def cmd_serve(args: argparse.Namespace) -> int:
             print(f"  metrics json      : {args.metrics_json}")
         _maybe_write_trace(args, tracer)
         return 0
-    planner = make_policy(args.policy) if args.policy else None
-    executor = None
-    if getattr(args, "workers", 0) > 0:
-        from repro.exec import ExecConfig, GroupExecutor
-
-        executor = GroupExecutor(
-            graph,
-            IBFSConfig(group_size=serving.batch_size),
-            exec_config=ExecConfig(
-                num_workers=args.workers, scheduler=args.scheduler
-            ),
-            planner=planner,
-        )
     server = None
+    exec_stats = None
     try:
         server = BFSServer(
-            graph, serving, executor=executor, planner=planner,
-            slo=slo_engine,
+            graph, serving, planner=planner, slo=slo_engine,
+            substrate=spec,
         )
         result = run_closed_loop(server, _workload_config(args))
+        exec_stats = (
+            server.executor.last_stats
+            if server.executor is not None else None
+        )
     finally:
         if server is not None:
             server.close()
-        if executor is not None:
-            executor.close()
     _print_load_result(
         f"served {args.requests} {args.kind} requests "
         f"({args.clients} closed-loop clients, zipf {args.zipf})",
         result,
     )
-    if executor is not None and executor.last_stats is not None:
-        stats = executor.last_stats
-        print(f"  exec backend      : {stats.backend} "
-              f"({stats.num_workers} workers, {stats.scheduler})")
+    if exec_stats is not None:
+        print(f"  exec backend      : {exec_stats.backend} "
+              f"({exec_stats.num_workers} workers, {exec_stats.scheduler})")
     _print_slo_summary(slo_engine)
     if args.metrics_json:
         import json
@@ -540,6 +544,9 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
 
     graph = _load_graph(args.graph)
     planner = make_policy(args.policy) if args.policy else None
+    spec = _substrate_spec(args)
+    if spec is None:
+        return 2
     if args.churn > 0:
         from repro.service.loadgen import naive_config
         from repro.stream import DynamicBFSServer, run_churn_loop
@@ -549,7 +556,9 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
         for label, config in (
             ("batched", serving), ("naive", naive_config(serving))
         ):
-            server = DynamicBFSServer(graph, config, planner=planner)
+            server = DynamicBFSServer(
+                graph, config, planner=planner, substrate=spec
+            )
             try:
                 results[label], _ = run_churn_loop(
                     server, _workload_config(args), _churn_config(args)
@@ -768,6 +777,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--mode", choices=("bitwise", "joint"), default="bitwise")
     run.add_argument("--no-groupby", action="store_true")
     run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--substrate", choices=SUBSTRATE_NAMES, default=None,
+                     help="execution substrate (default: derived — "
+                          "--partitions selects partitioned, --workers "
+                          "executor, else serial)")
     run.add_argument("--workers", type=int, default=0,
                      help="worker processes for the real execution "
                           "backend (0 = in-process, the default)")
@@ -939,6 +952,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--churn-deletes", type=int, default=0,
                        help="edge deletes per mutation batch (with --churn; "
                             "deletes force full cache recomputation)")
+        p.add_argument("--substrate", choices=SUBSTRATE_NAMES, default=None,
+                       help="execution substrate (default: derived — "
+                            "--partitions selects partitioned, --workers "
+                            "executor, --churn stream, else serial)")
 
     serve = sub.add_parser(
         "serve", help="run the online serving layer under a closed-loop load"

@@ -22,8 +22,9 @@ from repro.obs import tracing as obs_tracing
 from repro.gpusim.cluster import Cluster, Scheduler, schedule_lpt
 from repro.gpusim.config import DeviceConfig, KEPLER_K20
 from repro.gpusim.device import Device
-from repro.core.engine import IBFS, IBFSConfig
+from repro.core.engine import IBFSConfig
 from repro.core.result import ConcurrentResult
+from repro.runtime import SubstrateSpec, make_substrate
 
 
 @dataclass
@@ -131,57 +132,57 @@ class DistributedIBFS:
         self.device_config = device_config or KEPLER_K20
         self.scheduler = scheduler
         self.backend = backend
-        self._partitioned = None
-        if backend == "partitioned":
-            # The partitioned engine replaces replication: each device
-            # holds one partition, so the whole-graph fits() check does
-            # not apply — that is the point of this backend.
-            from repro.dist.engine import DistConfig, PartitionedEngine
-
-            base = config or IBFSConfig()
-            self._partitioned = PartitionedEngine(
-                graph,
-                dist_config
-                or DistConfig(
-                    num_partitions=num_devices,
-                    group_size=base.group_size,
-                    groupby=base.groupby,
-                    groupby_config=base.groupby_config,
-                    seed=base.seed,
-                ),
-            )
-            self.engine = self._partitioned
-            self._executor = None
-            return
-        self.engine = IBFS(
-            graph,
-            config or IBFSConfig(),
-            device=Device(self.device_config),
-        )
-        # Every device holds a full graph replica (the paper's setup).
-        if not Device(self.device_config).fits(graph):
-            raise SimulationError(
-                f"graph does not fit in {self.device_config.name} memory"
-            )
-        self._executor = None
-        if backend == "process":
-            # Imported lazily: repro.exec depends on repro.core.
-            from repro.exec.executor import ExecConfig, GroupExecutor
+        # Backends resolve through the substrate registry: ``sim`` is
+        # the serial substrate, ``process`` the executor substrate, and
+        # ``partitioned`` the partitioned substrate (each device holds
+        # one partition, so the whole-graph fits() check does not apply
+        # — that is the point of that backend).
+        if backend != "partitioned":
+            # Every device holds a full graph replica (paper's setup).
+            if not Device(self.device_config).fits(graph):
+                raise SimulationError(
+                    f"graph does not fit in {self.device_config.name} memory"
+                )
+        if backend == "process" and exec_config is None:
+            from repro.exec.executor import ExecConfig
 
             workers = num_workers if num_workers is not None else num_devices
-            self._executor = GroupExecutor(
-                graph,
-                config or IBFSConfig(),
-                exec_config=exec_config or ExecConfig(num_workers=workers),
-                device_config=self.device_config,
-            )
+            exec_config = ExecConfig(num_workers=workers)
+        spec = SubstrateSpec(
+            kind={
+                "sim": "serial",
+                "process": "executor",
+                "partitioned": "partitioned",
+            }[backend],
+            partitions=num_devices if backend == "partitioned" else 0,
+        )
+        self.substrate_spec = spec
+        self.substrate = make_substrate(
+            spec,
+            graph,
+            engine_config=config or IBFSConfig(),
+            device=Device(self.device_config),
+            device_config=self.device_config,
+            exec_config=exec_config,
+            dist_config=dist_config,
+        )
+
+    @property
+    def engine(self):
+        """The substrate's engine (read-only back-compat view)."""
+        return self.substrate.engine
+
+    @property
+    def _partitioned(self):
+        return self.substrate.partitioned_engine
+
+    @property
+    def _executor(self):
+        return self.substrate.executor
 
     def close(self) -> None:
         """Tear down the process/partitioned backends (no-op for ``sim``)."""
-        if self._executor is not None:
-            self._executor.close()
-        if self._partitioned is not None:
-            self._partitioned.close()
+        self.substrate.close()
 
     def __enter__(self) -> "DistributedIBFS":
         return self
@@ -196,22 +197,22 @@ class DistributedIBFS:
         store_depths: bool,
     ):
         """Execute all groups; returns (result, wall, exec_stats)."""
-        if self._partitioned is not None:
-            local = self._partitioned.run(
+        if self.substrate.supports_partitions:
+            local = self.substrate.run(
                 sources, max_depth=max_depth, store_depths=store_depths
             )
-            stats = self._partitioned.last_stats
+            stats = self.substrate.last_stats
             return local, stats.wall_seconds, stats
-        if self._executor is not None:
+        if self.substrate.supports_executor:
             import time
 
             start = time.perf_counter()
-            local = self._executor.run(
+            local = self.substrate.run(
                 sources, max_depth=max_depth, store_depths=store_depths
             )
             wall = time.perf_counter() - start
-            return local, wall, self._executor.last_stats
-        local = self.engine.run(
+            return local, wall, self.substrate.last_stats
+        local = self.substrate.run(
             sources, max_depth=max_depth, store_depths=store_depths
         )
         return local, None, None

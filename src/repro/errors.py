@@ -40,6 +40,45 @@ class ServiceError(ReproError):
     """Base class for errors raised by the online serving layer."""
 
 
+class SubstrateError(ServiceError):
+    """Base class for errors raised by the runtime substrate registry
+    (:mod:`repro.runtime`): unknown substrate names, capability
+    violations, and invalid placement specs."""
+
+
+class UnknownSubstrateError(SubstrateError):
+    """Raised when a :class:`~repro.runtime.SubstrateSpec` names a
+    substrate that is not in the registry."""
+
+
+class SubstrateCapabilityError(SubstrateError):
+    """Raised when a placement spec asks a substrate for something its
+    capability flags rule out (``supports_mutation``,
+    ``supports_partitions``, ``supports_executor``,
+    ``supports_replay``)."""
+
+
+class ExclusiveSubstrateError(SubstrateCapabilityError):
+    """The executor/partitions mutual exclusion, as a typed capability
+    error.  Kept as a :class:`ServiceError` subclass carrying the exact
+    pre-registry message for back-compat with callers matching on it."""
+
+    MESSAGE = (
+        "executor and partitions are mutually exclusive: "
+        "executor workers replicate the whole graph, which is "
+        "exactly what partitioned dispatch avoids"
+    )
+
+    def __init__(self, message: str = "") -> None:
+        super().__init__(message or self.MESSAGE)
+
+
+class UnsupportedMutationError(SubstrateCapabilityError):
+    """Raised when an epoch publication reaches a substrate whose
+    ``supports_mutation`` capability is False — never a silent stale
+    read."""
+
+
 class QueueFullError(ServiceError):
     """Raised when admission control sheds a request because the bounded
     pending queue is at capacity (backpressure)."""

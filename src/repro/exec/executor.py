@@ -293,6 +293,31 @@ class GroupExecutor:
         self._closed = True
         self._teardown_pool()
 
+    def rebind_graph(self, graph: CSRGraph) -> None:
+        """Re-point the executor at a new graph (an epoch swap).
+
+        Workers map one published shm graph for their whole lifetime,
+        so the swap tears the pool down; the next dispatch republishes
+        the new graph and respawns workers against it.  The respawn
+        budget resets — a fresh pool over a fresh graph is not a fault
+        recovery.
+        """
+        if self._closed:
+            raise ExecutorError("executor is closed")
+        self._teardown_pool()
+        self._pool_broken = False
+        self._respawns_left = self.exec_config.faults.respawn_limit
+        self.graph = graph
+        device = Device(self._device_config) if self._device_config else None
+        self.engine = IBFS(
+            graph,
+            self.engine.config,
+            device=device,
+            policy=self._policy_obj,
+            planner=self._planner,
+        )
+        self.cost_model = CostModel(graph)
+
     def _teardown_pool(self) -> None:
         for worker in self._workers.values():
             try:

@@ -70,14 +70,22 @@ class EngineSpec:
     planner: Optional[Policy] = None
 
     def build(self, graph) -> IBFS:
+        """Resolve the worker's engine through the substrate registry:
+        the worker loop is a serial placement over the attached shm
+        graph, so the spec builds one serial substrate and runs its
+        engine — identical construction to the parent's."""
+        from repro.runtime import SubstrateSpec, make_substrate
+
         device = Device(self.device_config) if self.device_config else None
-        return IBFS(
+        substrate = make_substrate(
+            SubstrateSpec(kind="serial"),
             graph,
-            self.config,
+            engine_config=self.config,
             device=device,
             policy=self.policy,
             planner=self.planner,
         )
+        return substrate.engine
 
 
 @dataclass(frozen=True)

@@ -312,10 +312,19 @@ class WaveAttribution:
 def detect_substrate(wave: SpanNode, trace_has_stream: bool) -> str:
     """Which execution substrate served this wave.
 
-    ``serve.wave`` only exists on the executor path; a subtree with
-    dist/exchange spans ran partitioned; a trace that published epochs
-    is the stream substrate; everything else is the serial engine.
+    The server stamps the registered substrate name
+    (:data:`repro.runtime.SUBSTRATE_NAMES` vocabulary) on every
+    ``serve.batch``/``serve.wave`` span, so a wave from the current
+    serving layer answers from its own attribute.  Traces recorded
+    before that attribute existed fall back to the structural
+    heuristics: ``serve.wave`` only exists on the executor path; a
+    subtree with dist/exchange spans ran partitioned; a trace that
+    published epochs is the stream substrate; everything else is the
+    serial engine.
     """
+    explicit = wave.attrs.get("substrate")
+    if explicit is not None:
+        return str(explicit)
     if wave.name == "serve.wave":
         return "executor"
     for node in wave.walk():

@@ -17,6 +17,7 @@ from repro.plan.policy import (
     Policy,
     PolicySession,
     RecordedPolicy,
+    planner_cache_name,
 )
 from repro.plan.presets import POLICY_NAMES, make_policy
 from repro.plan.types import (
@@ -49,4 +50,5 @@ __all__ = [
     "SNAPSHOT_STRATEGIES",
     "VECTOR_WIDTHS",
     "make_policy",
+    "planner_cache_name",
 ]

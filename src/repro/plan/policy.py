@@ -439,3 +439,15 @@ class _RecordedSession(PolicySession):
 
     def next(self, stats: Optional[LevelStats]) -> LevelDecision:
         return self._pop()
+
+
+def planner_cache_name(planner: Optional[Policy]) -> str:
+    """The policy name an engine records into its cache key.
+
+    ``None`` resolves exactly as the engines do: the legacy
+    :class:`DirectionPolicy` knobs wrap into a :class:`HeuristicPolicy`,
+    so the default planner's cache name is ``"heuristic"``.  Cache-key
+    derivation (:meth:`repro.runtime.SubstrateSpec.engine_key`) uses
+    this instead of constructing a throwaway engine.
+    """
+    return planner.name if planner is not None else HeuristicPolicy.name

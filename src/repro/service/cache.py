@@ -68,20 +68,13 @@ def engine_cache_key(
 ) -> str:
     """Stable fingerprint of the engine configuration.
 
-    ``policy_name`` (the planner policy's name) is appended when given:
-    two servers over the same :class:`IBFSConfig` but different planner
-    policies can produce different traversal schedules, so their cached
-    plans — and, for policies that change results such as capped
-    ``max_depth`` heuristics, depth rows — must not alias.
+    Back-compat delegate: key derivation moved next to the placement
+    spec (:func:`repro.runtime.spec.engine_key`), which also owns the
+    substrate-suffix namespacing partitioned placements need.
     """
-    key = (
-        f"{config.mode}-n{config.group_size}"
-        f"-gb{int(config.groupby)}-et{int(config.early_termination)}"
-        f"-vw{config.vector_width}-s{config.seed}"
-    )
-    if policy_name is not None:
-        key += f"-pol{policy_name}"
-    return key
+    from repro.runtime.spec import engine_key
+
+    return engine_key(config, policy_name)
 
 
 class LRUCache:

@@ -46,14 +46,15 @@ from repro.obs.slo import (
     SIGNAL_WAVE_LATENCY,
 )
 from repro.gpusim.device import Device
-from repro.plan.policy import DirectionPolicy, Policy
-from repro.core.engine import IBFS, IBFSConfig
+from repro.plan.policy import DirectionPolicy, Policy, planner_cache_name
+from repro.core.engine import IBFSConfig
 from repro.core.groupby import GroupByConfig
+from repro.runtime import SubstrateSpec, make_substrate
+from repro.runtime.spec import engine_key as substrate_engine_key
 from repro.service.batcher import MicroBatcher
 from repro.service.cache import (
     PlanCache,
     ResultCache,
-    engine_cache_key,
     graph_cache_id,
 )
 from repro.service.metrics import BatchRecord, MetricsRegistry
@@ -176,54 +177,49 @@ class BFSServer:
         executor: Optional["GroupExecutor"] = None,
         planner: Optional[Policy] = None,
         slo: Optional["SLOEngine"] = None,
+        substrate: Optional[SubstrateSpec] = None,
     ) -> None:
         self.graph = graph
         self.serving = serving or ServingConfig()
         engine_config = engine_config or IBFSConfig(
             group_size=self.serving.batch_size
         )
-        self.engine = IBFS(
-            graph, engine_config, device=device, policy=policy, planner=planner
-        )
-        #: Partitioned execution substrate
-        #: (:class:`~repro.dist.engine.PartitionedEngine`): when
-        #: ``serving.partitions > 0`` batches traverse it instead of the
-        #: whole-graph engine — how the server dispatches graphs too big
-        #: for one device.  Bit-identical depths either way.
-        self.partitioned = None
-        if self.serving.partitions > 0:
-            if executor is not None:
-                raise ServiceError(
-                    "executor and partitions are mutually exclusive: "
-                    "executor workers replicate the whole graph, which is "
-                    "exactly what partitioned dispatch avoids"
-                )
-            # Imported lazily: repro.dist depends on repro.core.
-            from repro.dist.engine import DistConfig, PartitionedEngine
-
-            self.partitioned = PartitionedEngine(
-                graph,
-                DistConfig(
-                    num_partitions=self.serving.partitions,
-                    layout=self.serving.partition_layout,
-                    group_size=engine_config.group_size,
-                    groupby=engine_config.groupby,
-                    groupby_config=engine_config.groupby_config,
-                    seed=engine_config.seed,
-                ),
+        #: The placement decision.  An explicit spec wins; otherwise the
+        #: legacy knobs remain aliases — ``serving.partitions`` selects
+        #: the partitioned substrate, a caller-owned ``executor`` the
+        #: executor substrate, and the bare default is serial.
+        if substrate is None:
+            substrate = SubstrateSpec.from_flags(
+                kind="executor" if (
+                    executor is not None and self.serving.partitions == 0
+                ) else None,
+                partitions=self.serving.partitions,
+                layout=self.serving.partition_layout,
             )
-        #: Optional multi-process backend: batches that become ready at
-        #: the same simulated instant (one per free device) execute as
-        #: one concurrent wave on the executor's worker pool instead of
-        #: serially in this process.  Responses, metrics, and clocks are
-        #: bit-identical either way; only the host wall-clock changes.
-        self.executor = executor
-        if executor is not None:
-            self._check_executor(executor)
+        self.substrate_spec = substrate
+        if executor is not None and substrate.kind == "executor":
+            # An executor over a different graph or engine config would
+            # compute depths the server's cache keys misattribute.
+            self._check_executor(executor, engine_config, planner)
+        #: The one execution substrate every batch dispatches through —
+        #: serial engine, worker-process executor, partitioned engine,
+        #: or the epoch-swapping stream wrapper.  Bit-identical depths
+        #: on all of them; only placement (and the metrics it emits)
+        #: changes.  Construction and capability validation live in
+        #: :func:`repro.runtime.make_substrate`.
+        self.substrate = make_substrate(
+            substrate,
+            graph,
+            engine_config=engine_config,
+            device=device,
+            policy=policy,
+            planner=planner,
+            executor=executor,
+        )
         #: Effective max batch size (configured, clamped by capacity).
         self.batch_size = min(
             self.serving.batch_size,
-            (self.partitioned or self.engine).effective_group_size(),
+            self.substrate.effective_group_size(),
         )
         self.batcher = MicroBatcher(
             graph,
@@ -248,19 +244,38 @@ class BFSServer:
 
         self.clock = 0.0
         self._graph_id = graph_cache_id(graph)
-        self._engine_key = engine_cache_key(
-            self.engine.config, self.engine.planner.name
-        )
-        if self.partitioned is not None:
-            # Partitioned plans carry exchange formats a whole-graph
-            # replay would ignore; keep the cache namespaces apart.
-            self._engine_key = f"{self._engine_key}+{self.partitioned.name}"
+        self._engine_key = self.substrate.engine_key
         self._device_free = [0.0] * self.serving.num_devices
         self._completed: List[Response] = []
         self._next_id = 0
         self._next_batch_id = 0
 
-    def _check_executor(self, executor: "GroupExecutor") -> None:
+    # ------------------------------------------------------------------
+    # Back-compat views of the substrate's internals
+    # ------------------------------------------------------------------
+    @property
+    def engine(self):
+        """The substrate's engine (read-only back-compat view)."""
+        return self.substrate.engine
+
+    @property
+    def partitioned(self):
+        """The PartitionedEngine when this server partitions, else None
+        (read-only back-compat view)."""
+        return self.substrate.partitioned_engine
+
+    @property
+    def executor(self):
+        """The GroupExecutor when this server pools workers, else None
+        (read-only back-compat view)."""
+        return self.substrate.executor
+
+    def _check_executor(
+        self,
+        executor: "GroupExecutor",
+        engine_config: IBFSConfig,
+        planner: Optional[Policy],
+    ) -> None:
         """An executor over a different graph or engine configuration
         would compute depths the server's cache keys misattribute —
         refuse it up front."""
@@ -268,9 +283,11 @@ class BFSServer:
             raise ServiceError(
                 "executor graph does not match the server graph"
             )
-        if engine_cache_key(
+        if substrate_engine_key(
             executor.engine.config, executor.engine.planner.name
-        ) != engine_cache_key(self.engine.config, self.engine.planner.name):
+        ) != substrate_engine_key(
+            engine_config, planner_cache_name(planner)
+        ):
             raise ServiceError(
                 "executor engine config does not match the server's; "
                 "batches would traverse under a different configuration "
@@ -278,10 +295,9 @@ class BFSServer:
             )
 
     def close(self) -> None:
-        """Release the partitioned substrate (the ``executor``, when
-        given, is caller-owned and left alone)."""
-        if self.partitioned is not None:
-            self.partitioned.close()
+        """Release the substrate's owned resources (a caller-owned
+        ``executor`` is left alone)."""
+        self.substrate.close()
 
     def __enter__(self) -> "BFSServer":
         return self
@@ -408,7 +424,7 @@ class BFSServer:
 
     def _dispatch(self, now: float, draining: bool = False) -> None:
         """Launch batches while a device is free and a trigger holds."""
-        if self.executor is not None:
+        if self.substrate.supports_executor:
             self._dispatch_wave(now, draining)
             return
         self._expire(now)
@@ -486,12 +502,13 @@ class BFSServer:
             ]
             with obs_tracing.get_tracer().span(
                 "serve.wave",
+                substrate=self.substrate.telemetry_kind,
                 batches=len(wave),
                 sources=sum(len(entry[2]) for entry in wave),
                 plans_cached=sum(1 for s in specs if s[2] is not None),
                 queue_depth=queue_depth,
             ) as wave_span:
-                results = self.executor.map_groups(specs, return_errors=True)
+                results = self.substrate.map_groups(specs, return_errors=True)
                 sims = [
                     r.seconds for r in results
                     if not isinstance(r, ReproError)
@@ -543,6 +560,7 @@ class BFSServer:
         try:
             with obs_tracing.get_tracer().span(
                 "serve.batch",
+                substrate=self.substrate.telemetry_kind,
                 device=device,
                 trigger=trigger,
                 num_sources=len(sources),
@@ -556,7 +574,7 @@ class BFSServer:
                 plan = self.plan_cache.get(self._plan_key(sources, max_depth))
                 if span is not None:
                     span.annotate(plan_cached=plan is not None)
-                result = (self.partitioned or self.engine).run_group(
+                result = self.substrate.run_group(
                     sources, max_depth=max_depth, plan=plan
                 )
                 if span is not None:
@@ -736,6 +754,7 @@ class BFSServer:
             elapsed=elapsed, cache_stats=self.cache.stats()
         )
         payload["plan_cache"] = self.plan_cache.stats()
+        payload["substrate"] = self.substrate.describe()
         if self.slo is not None:
             self.slo.evaluate(self.clock)
             payload["slo"] = self.slo.snapshot()

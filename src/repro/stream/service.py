@@ -34,14 +34,18 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from dataclasses import replace as dc_replace
+
 from repro.errors import ServiceError
 from repro.graph.csr import CSRGraph
 from repro.obs import metrics as obs_metrics
 from repro.obs import tracing as obs_tracing
 from repro.obs.slo import SIGNAL_CACHE_STALENESS
+from repro.runtime import SubstrateSpec
+from repro.service.batcher import MicroBatcher
 from repro.service.cache import ResultCache
 from repro.service.server import BFSServer, ServingConfig
-from repro.stream.epoch import EpochStore, Snapshot
+from repro.stream.epoch import Snapshot
 from repro.stream.overlay import MutationBatch
 from repro.stream.repair import (
     NOOP,
@@ -93,9 +97,15 @@ class DynamicBFSServer(BFSServer):
     Parameters beyond :class:`BFSServer`'s: ``share`` publishes each
     epoch snapshot over POSIX shared memory (reclaimed when the epoch
     is superseded and unpinned), and ``repair_config`` tunes the
-    repair-vs-recompute cost model.  The multi-process ``executor``
-    backend is refused: executor workers pin one graph for their
-    lifetime, which is exactly what an epoch swap violates.
+    repair-vs-recompute cost model.  The serving substrate is always
+    the epoch-swapping ``stream`` substrate; its delegate (serial,
+    executor, or partitioned) follows the spec.  A substrate-owned
+    executor (``workers > 0`` in the spec) survives mutation — each
+    epoch swap republishes the new graph to a fresh worker pool.  A
+    *caller-owned* ``executor`` object is refused with a typed
+    :class:`~repro.errors.UnsupportedMutationError`: its workers map
+    one published graph for their lifetime, which is exactly what an
+    epoch swap violates.
     """
 
     def __init__(
@@ -106,19 +116,39 @@ class DynamicBFSServer(BFSServer):
         repair_config: Optional[RepairConfig] = None,
         **kwargs,
     ) -> None:
-        if kwargs.get("executor") is not None:
-            raise ServiceError(
-                "DynamicBFSServer does not support the executor backend: "
-                "worker processes map one published graph for their "
-                "lifetime, but epochs swap the graph under the server"
-            )
         self._groupby_config = kwargs.get("groupby_config")
-        self.epochs = EpochStore(graph, share=share)
         self.repair_config = repair_config or RepairConfig()
         self.epoch_records: List[EpochRecord] = []
-        super().__init__(
-            self.epochs.current.graph, serving=serving, **kwargs
-        )
+        serving = serving or ServingConfig()
+        # Force the epoch-swapping substrate: whatever placement the
+        # caller asked for becomes the per-epoch delegate.
+        spec = kwargs.pop("substrate", None)
+        if spec is None:
+            spec = SubstrateSpec.from_flags(
+                partitions=serving.partitions,
+                layout=serving.partition_layout,
+                churn=True,
+                share=share,
+            )
+        elif spec.kind != "stream":
+            spec = SubstrateSpec.from_flags(
+                kind=spec.kind,
+                workers=spec.workers,
+                partitions=spec.partitions,
+                layout=spec.layout,
+                scheduler=spec.scheduler,
+                churn=True,
+                share=share,
+            )
+        elif share and not spec.share:
+            spec = dc_replace(spec, share=True)
+        super().__init__(graph, serving=serving, substrate=spec, **kwargs)
+
+    @property
+    def epochs(self):
+        """The stream substrate's :class:`~repro.stream.epoch.EpochStore`
+        (read-only back-compat view)."""
+        return self.substrate.epochs
 
     # ------------------------------------------------------------------
     # Mutation surface
@@ -164,10 +194,10 @@ class DynamicBFSServer(BFSServer):
             self._dispatch(self.clock, draining=True)
 
         if inserts is not None:
-            self.epochs.overlay.insert_edges(*inserts)
+            self.substrate.overlay.insert_edges(*inserts)
         if deletes is not None:
-            self.epochs.overlay.delete_edges(*deletes)
-        batch = self.epochs.overlay.pending_batch()
+            self.substrate.overlay.delete_edges(*deletes)
+        batch = self.substrate.overlay.pending_batch()
         if batch.empty:
             return EpochRecord(
                 epoch=self.epochs.current_epoch,
@@ -184,9 +214,13 @@ class DynamicBFSServer(BFSServer):
             inserts=batch.num_inserts,
             deletes=batch.num_deletes,
         ) as span:
-            snap = self.epochs.publish()
+            # publish() folds the overlay into a new epoch AND routes
+            # the swap through the substrate's on_epoch_published hook
+            # (rebuilding the serial/partitioned delegate, or tearing
+            # down and republishing the executor's worker pool).
+            snap = self.substrate.publish()
             plan = plan_repair(batch, snap.graph, self.repair_config)
-            self._swap_substrate(snap)
+            self._on_epoch(snap)
             repaired, rounds = 0, 0
             if plan.decision == REPAIR:
                 with obs_tracing.get_tracer().span(
@@ -272,32 +306,20 @@ class DynamicBFSServer(BFSServer):
     # ------------------------------------------------------------------
     # Epoch swap internals
     # ------------------------------------------------------------------
-    def _swap_substrate(self, snap: Snapshot) -> None:
-        """Point the serving machinery at the new epoch's graph."""
-        from repro.core.engine import IBFS
+    def _on_epoch(self, snap: Snapshot) -> None:
+        """Point the server-side machinery at the new epoch's graph.
 
+        The traversal substrate has already swapped (inside
+        :meth:`~repro.runtime.StreamSubstrate.publish`); what remains is
+        the serving bookkeeping built over the graph object itself.
+        """
         self.graph = snap.graph
-        self.engine = IBFS(
-            snap.graph,
-            self.engine.config,
-            device=self.engine.device,
-            policy=self.engine.policy,
-            planner=self.engine.planner,
-        )
-        if self.partitioned is not None:
-            from repro.dist.engine import PartitionedEngine
-
-            old_config = self.partitioned.config
-            self.partitioned.close()
-            self.partitioned = PartitionedEngine(snap.graph, old_config)
         self.batch_size = min(
             self.serving.batch_size,
-            (self.partitioned or self.engine).effective_group_size(),
+            self.substrate.effective_group_size(),
         )
         # The batcher is empty post-barrier; rebuild it so GroupBy sees
         # the new adjacency and the new batch-size clamp.
-        from repro.service.batcher import MicroBatcher
-
         self.batcher = MicroBatcher(
             snap.graph,
             self.batch_size,
@@ -380,5 +402,6 @@ class DynamicBFSServer(BFSServer):
         return payload
 
     def close(self) -> None:
+        # The stream substrate owns the epoch store; closing the
+        # substrate closes both the delegate and the store.
         super().close()
-        self.epochs.close()

@@ -77,13 +77,9 @@ class TestEquivalence:
         result = dist_engine(graph, 2).run_group(group, max_depth=max_depth)
         assert np.array_equal(result.depths, expected.depths)
 
-    def test_full_run_matches_serial(self, graph, serial):
-        sources = list(range(0, 48, 2))
-        expected = serial.run(sources, store_depths=True)
-        engine = dist_engine(graph, 2)
-        result = engine.run(sources, store_depths=True)
-        assert result.sources == expected.sources
-        assert np.array_equal(result.depths, expected.depths)
+    # The plain full-run-matches-serial loop lives in the shared
+    # substrate matrix (tests/test_runtime_substrates.py) now, across
+    # every registered substrate × planner × mutation.
 
     def test_random_grouping_matches_serial(self, graph):
         sources = list(range(20))

@@ -83,14 +83,9 @@ class TestDeterminism:
         assert stats.crashes == 1
         assert stats.task_errors == 1
 
-    def test_repeated_runs_identical(self, graph, serial):
-        with GroupExecutor(
-            graph, CONFIG, exec_config=ExecConfig(num_workers=2)
-        ) as executor:
-            for _ in range(3):
-                assert_identical(
-                    executor.run(SOURCES, store_depths=True), serial
-                )
+    # The generic repeat-runs-match-serial loop lives in the shared
+    # substrate matrix (tests/test_runtime_substrates.py) now, across
+    # every registered substrate × planner × mutation.
 
     def test_inprocess_mode_identical(self, graph, serial):
         with GroupExecutor(

@@ -49,6 +49,16 @@ def serve_all(graph, requests, executor=None, fault=None):
     return responses, server.metrics_snapshot()
 
 
+def assert_same_metrics(plain_metrics, backed_metrics):
+    """Everything except the substrate section (which names the
+    placement and so legitimately differs) must be bit-identical."""
+    plain_sub = plain_metrics.pop("substrate")
+    backed_sub = backed_metrics.pop("substrate")
+    assert plain_sub["kind"] == "serial"
+    assert backed_sub["kind"] == "executor"
+    assert plain_metrics == backed_metrics
+
+
 def assert_same_responses(plain, backed):
     assert len(plain) == len(backed)
     for a, b in zip(plain, backed):
@@ -74,7 +84,7 @@ class TestWaveDispatch:
                 graph, requests, executor=executor
             )
         assert_same_responses(plain, backed)
-        assert plain_metrics == backed_metrics
+        assert_same_metrics(plain_metrics, backed_metrics)
 
     def test_bit_identical_through_injected_faults(self, graph, requests):
         def make_chaos():
@@ -95,7 +105,7 @@ class TestWaveDispatch:
                 graph, requests, executor=executor, fault=make_chaos()
             )
         assert_same_responses(plain, backed)
-        assert plain_metrics == backed_metrics
+        assert_same_metrics(plain_metrics, backed_metrics)
         assert plain_metrics["requests"]["retries"] > 0
 
     def test_single_device_reduces_to_serial_waves(self, graph, requests):
@@ -123,7 +133,7 @@ class TestWaveDispatch:
                 graph, requests, executor=executor
             )
         assert_same_responses(plain, backed)
-        assert plain_metrics == backed_metrics
+        assert_same_metrics(plain_metrics, backed_metrics)
 
 
 class TestExecutorGuards:
